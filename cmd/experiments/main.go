@@ -1,0 +1,153 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1,fig13 -seed 7
+//	experiments -run fig13 -reps 90          # paper-scale repetitions
+//
+// Available experiment ids: table1, table3, fig9, fig10, fig11, fig12,
+// fig13, matrix, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flowdiff/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runFlag  = flag.String("run", "all", "comma-separated experiment ids (table1,table3,fig9,fig10,fig11,fig12,fig13,matrix,ablation) or 'all'")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		reps     = flag.Int("reps", 10, "fig13 processing-time repetitions (paper: 90)")
+		training = flag.Int("training", 50, "table3 training runs per VM (paper: 50)")
+		csvDir   = flag.String("csv", "", "also export the figures' plottable series as CSV into this directory")
+	)
+	flag.Parse()
+
+	want := make(map[string]bool)
+	for _, id := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	show := func(id string, fn func() (fmt.Stringer, error)) error {
+		if !all && !want[id] {
+			return nil
+		}
+		ran++
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), res)
+		return nil
+	}
+
+	steps := []struct {
+		id string
+		fn func() (fmt.Stringer, error)
+	}{
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(*seed) }},
+		{"table3", func() (fmt.Stringer, error) { return experiments.Table3(*seed, *training) }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9(*seed) }},
+		{"fig10", func() (fmt.Stringer, error) { return experiments.Fig10(*seed, 0) }},
+		{"fig11", func() (fmt.Stringer, error) {
+			a, err := experiments.Fig11a(*seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig11b(*seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			return stringers{a, b}, nil
+		}},
+		{"fig12", func() (fmt.Stringer, error) { return experiments.Fig12(*seed, 0) }},
+		{"fig13", func() (fmt.Stringer, error) {
+			return experiments.Fig13(*seed, experiments.Fig13Config{Repetitions: *reps})
+		}},
+		{"matrix", func() (fmt.Stringer, error) { return experiments.Matrices(*seed) }},
+		{"ablation", func() (fmt.Stringer, error) {
+			dm, err := experiments.DeploymentModes(*seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			cp, err := experiments.ClosedPruning(*seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			it, err := experiments.InterleaveThreshold(*seed, nil, 5)
+			if err != nil {
+				return nil, err
+			}
+			sf, err := experiments.StabilityFilter(*seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			pe, err := experiments.PCEpoch(*seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := experiments.ControllerScaling(*seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			hy, err := experiments.Hybrid(*seed)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := experiments.TimeoutSweep(*seed, nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			return stringers{dm, cp, it, sf, pe, cs, hy, ts}, nil
+		}},
+	}
+	for _, s := range steps {
+		if err := show(s.id, s.fn); err != nil {
+			return err
+		}
+	}
+	if ran == 0 && *csvDir == "" {
+		return fmt.Errorf("no experiment matched %q", *runFlag)
+	}
+	if *csvDir != "" {
+		files, err := experiments.ExportCSV(*csvDir, *seed)
+		if err != nil {
+			return fmt.Errorf("csv export: %w", err)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+	}
+	return nil
+}
+
+// stringers concatenates multiple results.
+type stringers []fmt.Stringer
+
+func (s stringers) String() string {
+	var sb strings.Builder
+	for i, x := range s {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(x.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,31 @@
+package flowdiff_test
+
+import (
+	"fmt"
+	"log"
+
+	"flowdiff"
+	"flowdiff/internal/faults"
+)
+
+// Example demonstrates the complete FlowDiff pipeline: simulate the lab
+// data center, crash an application server during the second capture,
+// and diagnose the difference between the two logs.
+func Example() {
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:   7,
+		Faults: []faults.Injector{faults.AppCrash{Host: "S3"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top hypothesis:", report.Problems[0].Problem)
+	fmt.Println("top suspect:", report.Ranking[0].Component)
+	// Output:
+	// top hypothesis: application failure
+	// top suspect: S3
+}

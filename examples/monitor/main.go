@@ -1,0 +1,71 @@
+// Continuous monitoring: FlowDiff as an operator would run it. A baseline
+// is frozen from a healthy hour of the lab data center; then the live
+// control-traffic stream is fed into flowdiff.Monitor window by window.
+// Midway through, an application server starts dropping its database
+// connections (firewall misconfiguration) — the monitor raises the alarm
+// in the window where it happens and names the suspects.
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/faults"
+	"flowdiff/internal/workload"
+)
+
+func main() {
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:        11,
+		BaselineDur: 3 * time.Minute,
+		FaultDur:    4 * time.Minute,
+		Faults:      []faults.Injector{faults.FirewallBlock{Host: "S8", Port: workload.PortDB}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon, err := flowdiff.NewMonitor(res.L1, time.Minute, nil, flowdiff.Thresholds{}, res.Options())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline frozen: %d events over %v, %d application groups\n",
+		len(res.L1.Events), res.L1.Duration(), len(mon.Baseline().Apps))
+
+	// Replay the live stream.
+	for _, e := range res.L2.Events {
+		rep, err := mon.Observe(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep != nil {
+			printWindow(rep)
+		}
+	}
+	if rep, err := mon.Flush(); err != nil {
+		log.Fatal(err)
+	} else if rep != nil {
+		printWindow(rep)
+	}
+
+	fmt.Printf("\n%d windows, %d with alarms\n", len(mon.Reports()), len(mon.Alarms()))
+}
+
+func printWindow(rep *flowdiff.MonitorReport) {
+	if len(rep.Report.Unknown) == 0 {
+		fmt.Printf("[%6v - %6v] ok\n", rep.From.Round(time.Second), rep.To.Round(time.Second))
+		return
+	}
+	fmt.Printf("[%6v - %6v] ALARM: %d unexplained changes\n",
+		rep.From.Round(time.Second), rep.To.Round(time.Second), len(rep.Report.Unknown))
+	for _, c := range rep.Report.Unknown {
+		fmt.Printf("    [%-3s] %s\n", c.Kind, c.Description)
+	}
+	if len(rep.Report.Problems) > 0 {
+		fmt.Printf("    => %s\n", rep.Report.Problems[0].Problem)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: simulate a small flow-based data center, capture a healthy
+// baseline log and a problem log (an application server shut down), and
+// let FlowDiff explain what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowdiff"
+	"flowdiff/internal/faults"
+)
+
+func main() {
+	// RunScenario drives the paper's lab testbed (25 servers + 5 VMs,
+	// 7 OpenFlow switches) with the case-5 three-tier applications,
+	// captures baseline log L1, injects the fault, and captures L2.
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:   7,
+		Faults: []faults.Injector{faults.HostShutdown{Host: "S3"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One call: model both logs, diff signatures, diagnose.
+	report, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("unexplained changes: %d\n", len(report.Unknown))
+	for _, c := range report.Unknown {
+		fmt.Printf("  [%-3s] %s\n", c.Kind, c.Description)
+	}
+	fmt.Println("\ntop problem hypotheses:")
+	for i, p := range report.Problems {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %.2f  %s\n", p.Score, p.Problem)
+	}
+	fmt.Println("\nmost suspect components:")
+	for i, c := range report.Ranking {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %d changes: %s\n", c.Changes, c.Component)
+	}
+}

@@ -1,0 +1,182 @@
+// Package flowdiff is the public API of this FlowDiff reproduction
+// ("Diagnosing Data Center Behavior Flow by Flow", ICDCS 2013): a
+// flow-based data center diagnosis framework that models behavior from
+// OpenFlow control traffic and detects operational problems by diffing
+// behavioral signatures across time.
+//
+// The pipeline mirrors the paper:
+//
+//  1. Collect a control-traffic log (flowlog.Log) — from the bundled
+//     discrete-event simulator (simnet), from the TCP OpenFlow controller
+//     (controller.Server), or from disk.
+//  2. BuildSignatures extracts application signatures (CG, FS, CI, DD,
+//     PC) per application group and infrastructure signatures (PT, ISL,
+//     CRT), plus a stability report.
+//  3. MineTask learns task automata from captured runs of operator tasks;
+//     DetectTasks produces the task time series of a log.
+//  4. Diff compares a baseline's signatures against a current log's.
+//  5. Diagnose validates changes against the task time series and reports
+//     the unexplained ones with a dependency matrix, ranked problem
+//     classes, and ranked suspect components.
+package flowdiff
+
+import (
+	"fmt"
+	"time"
+
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/core/diagnose"
+	"flowdiff/internal/core/diff"
+	"flowdiff/internal/core/signature"
+	"flowdiff/internal/core/taskmine"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/topology"
+)
+
+// Re-exported core types: callers outside the module use these aliases.
+type (
+	// Log is a control-traffic capture.
+	Log = flowlog.Log
+	// FlowKey identifies a flow by its 5-tuple.
+	FlowKey = flowlog.FlowKey
+	// AppSignature models one application group.
+	AppSignature = signature.AppSignature
+	// InfraSignature models the infrastructure.
+	InfraSignature = signature.InfraSignature
+	// Stability reports which signature components are trustworthy.
+	Stability = signature.Stability
+	// Change is one detected behavioral difference.
+	Change = diff.Change
+	// Thresholds tunes change detection.
+	Thresholds = diff.Thresholds
+	// Report is the complete diagnosis output.
+	Report = diagnose.Report
+	// TaskAutomaton is a learned task signature.
+	TaskAutomaton = taskmine.Automaton
+	// TaskDetection is one recognized task execution.
+	TaskDetection = taskmine.Detection
+	// Kind identifies one signature component (CG, FS, CI, DD, PC, PT,
+	// ISL, CRT).
+	Kind = signature.Kind
+)
+
+// Options configures signature extraction.
+type Options struct {
+	// Topo resolves flow addresses to named hosts; nil falls back to
+	// synthetic "ip:<addr>" node ids.
+	Topo *topology.Topology
+	// Special marks service nodes that bound application groups (DNS,
+	// NFS, ...). Defaults to topology.ServiceNodes when Topo is the lab.
+	Special []topology.NodeID
+	// Signature tunes extraction (zero = paper defaults).
+	Signature signature.Config
+	// Stability tunes the per-interval analysis (zero = defaults).
+	Stability signature.StabilityConfig
+}
+
+func (o Options) resolver() *appgroup.Resolver {
+	return appgroup.NewResolver(o.Topo)
+}
+
+func (o Options) sigConfig() signature.Config {
+	cfg := o.Signature
+	if cfg.Special == nil && len(o.Special) > 0 {
+		cfg.Special = make(map[topology.NodeID]bool, len(o.Special))
+		for _, s := range o.Special {
+			cfg.Special[s] = true
+		}
+	}
+	return cfg
+}
+
+// Signatures bundles everything extracted from one log.
+type Signatures struct {
+	Apps      []AppSignature
+	Infra     InfraSignature
+	Stability map[string]Stability
+	Log       *Log
+	opts      Options
+}
+
+// BuildSignatures runs FlowDiff's modeling phase on a log.
+func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
+	if log == nil {
+		return nil, fmt.Errorf("flowdiff: nil log")
+	}
+	r := opts.resolver()
+	cfg := opts.sigConfig()
+	apps, infra := signature.Build(log, r, cfg)
+	var stab map[string]Stability
+	if log.Duration() > 0 {
+		var err error
+		stab, err = signature.AnalyzeStability(log, r, cfg, opts.Stability)
+		if err != nil {
+			return nil, fmt.Errorf("flowdiff: stability analysis: %w", err)
+		}
+	}
+	return &Signatures{Apps: apps, Infra: infra, Stability: stab, Log: log, opts: opts}, nil
+}
+
+// Diff compares a baseline's signatures against a current log's
+// signatures; the baseline's stability report filters unstable
+// components.
+func Diff(base, cur *Signatures, th Thresholds) []Change {
+	if base == nil || cur == nil {
+		return nil
+	}
+	return diff.Compare(base.Apps, cur.Apps, base.Infra, cur.Infra, base.Stability, th)
+}
+
+// TaskConfig re-exports the task-mining configuration.
+type TaskConfig = taskmine.Config
+
+// MineTask learns a task automaton from several runs of the same task,
+// where each run is the ordered flow sequence the task produced.
+func MineTask(name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
+	templates := make([][]taskmine.Template, 0, len(runs))
+	for _, run := range runs {
+		templates = append(templates, taskmine.Normalize(run, cfg))
+	}
+	a, err := taskmine.Mine(name, templates, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: %w", err)
+	}
+	return a, nil
+}
+
+// DetectTasks produces the task time series of a log: every execution of
+// any of the given automata.
+func DetectTasks(log *Log, automata []*TaskAutomaton, gap time.Duration) []TaskDetection {
+	if log == nil || len(automata) == 0 {
+		return nil
+	}
+	flows := taskmine.FlowsFromLog(log, gap)
+	var all []TaskDetection
+	for _, a := range automata {
+		all = append(all, taskmine.Detect(a, flows)...)
+	}
+	return taskmine.DedupeDetections(all)
+}
+
+// Diagnose validates the changes against the task time series and
+// produces the operator report (dependency matrix, problem classes,
+// component ranking).
+func Diagnose(changes []Change, tasks []TaskDetection, opts Options) Report {
+	return diagnose.Diagnose(changes, tasks, opts.resolver(), 0)
+}
+
+// Compare is the one-call convenience API: model both logs, diff, detect
+// tasks in the current log, and diagnose.
+func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
+	base, err := BuildSignatures(baseline, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	cur, err := BuildSignatures(current, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	changes := Diff(base, cur, th)
+	tasks := DetectTasks(current, automata, opts.Signature.OccurrenceGap)
+	return Diagnose(changes, tasks, opts), nil
+}

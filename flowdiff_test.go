@@ -1,0 +1,368 @@
+package flowdiff
+
+import (
+	"testing"
+	"time"
+
+	"flowdiff/internal/core/signature"
+	"flowdiff/internal/faults"
+	"flowdiff/internal/topology"
+	"flowdiff/internal/workload"
+)
+
+// runAndDiff executes a scenario and returns the change set between its
+// baseline and fault logs.
+func runAndDiff(t *testing.T, s Scenario) ([]Change, *ScenarioResult) {
+	t.Helper()
+	res, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := res.Options()
+	base, err := BuildSignatures(res.L1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := BuildSignatures(res.L2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Diff(base, cur, Thresholds{}), res
+}
+
+func kindSet(changes []Change) map[Kind]bool {
+	out := make(map[Kind]bool)
+	for _, c := range changes {
+		out[c.Kind] = true
+	}
+	return out
+}
+
+func TestCleanScenarioRaisesNoAlarms(t *testing.T) {
+	changes, _ := runAndDiff(t, Scenario{Seed: 100})
+	if len(changes) != 0 {
+		t.Errorf("clean run produced %d changes: %+v", len(changes), changes)
+	}
+}
+
+func TestTable1LoggingMisconfiguration(t *testing.T) {
+	// Table I #1: INFO logging on the app server -> DD changes.
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   101,
+		Faults: []faults.Injector{faults.EnableLogging{Host: "S3", Overhead: 60 * time.Millisecond}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindDD] {
+		t.Errorf("logging fault should shift DD; got kinds %v (%d changes)", kinds, len(changes))
+	}
+	if kinds[signature.KindCG] {
+		t.Error("logging fault must not change the connectivity graph")
+	}
+	// The shifted DD must implicate the overloaded server.
+	found := false
+	for _, c := range changes {
+		if c.Kind == signature.KindDD {
+			for _, comp := range c.Components {
+				if comp == "S3" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("DD change does not implicate S3")
+	}
+}
+
+func TestTable1PathLoss(t *testing.T) {
+	// Table I #2: loss between web and app server -> FS (byte counts) and
+	// DD change.
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   102,
+		Faults: []faults.Injector{faults.PathLoss{From: "S1", To: "S3", Prob: 0.05}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindFS] {
+		t.Errorf("loss should inflate FS byte counts; kinds = %v", kinds)
+	}
+	if kinds[signature.KindCG] {
+		t.Error("loss must not change CG")
+	}
+}
+
+func TestTable1CPUHog(t *testing.T) {
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   103,
+		Faults: []faults.Injector{faults.CPUHog{Host: "S3", Overhead: 80 * time.Millisecond}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindDD] {
+		t.Errorf("CPU hog should shift DD; kinds = %v", kinds)
+	}
+}
+
+func TestTable1AppCrash(t *testing.T) {
+	// Table I #4: application crash -> CG and CI change (outgoing edges
+	// of the crashed process disappear).
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   104,
+		Faults: []faults.Injector{faults.AppCrash{Host: "S3"}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindCG] {
+		t.Errorf("app crash should remove CG edges; kinds = %v", kinds)
+	}
+	// The lost edge is S3->S8 (outgoing); the incoming edges remain.
+	var lostOut, lostIn bool
+	for _, c := range changes {
+		if c.Kind != signature.KindCG {
+			continue
+		}
+		for i, comp := range c.Components {
+			if comp == "S3" && i == 0 {
+				lostOut = true
+			}
+			if comp == "S3" && i == 1 {
+				lostIn = true
+			}
+		}
+	}
+	if !lostOut {
+		t.Error("missing S3->S8 edge change")
+	}
+	if lostIn {
+		t.Error("incoming edges to the crashed app should persist")
+	}
+}
+
+func TestTable1HostShutdown(t *testing.T) {
+	// Table I #5: host shutdown -> CG and CI change; ALL edges at the
+	// host disappear.
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   105,
+		Faults: []faults.Injector{faults.HostShutdown{Host: "S3"}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindCG] {
+		t.Fatalf("host shutdown should remove CG edges; kinds = %v", kinds)
+	}
+	var inGone, outGone bool
+	for _, c := range changes {
+		if c.Kind != signature.KindCG {
+			continue
+		}
+		if len(c.Components) == 2 {
+			if c.Components[1] == "S3" {
+				inGone = true
+			}
+			if c.Components[0] == "S3" {
+				outGone = true
+			}
+		}
+	}
+	if !inGone || !outGone {
+		t.Errorf("host shutdown should remove edges in both directions (in=%v out=%v)", inGone, outGone)
+	}
+}
+
+func TestTable1FirewallBlock(t *testing.T) {
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   106,
+		Faults: []faults.Injector{faults.FirewallBlock{Host: "S8", Port: workload.PortDB}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindCG] {
+		t.Errorf("firewall block should remove the blocked edge; kinds = %v", kinds)
+	}
+}
+
+func TestTable1BackgroundTraffic(t *testing.T) {
+	// Table I #7: Iperf background traffic -> congestion: ISL and FS/DD
+	// shifts.
+	changes, _ := runAndDiff(t, Scenario{
+		Seed: 107,
+		Faults: []faults.Injector{faults.BackgroundTraffic{
+			From: "S24", To: "S4", Flows: 60, FlowBytes: 20 << 20,
+			Interval: 250 * time.Millisecond, QueueDelay: 25 * time.Millisecond,
+		}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindISL] {
+		t.Errorf("congestion should shift ISL; kinds = %v", kinds)
+	}
+}
+
+func TestControllerOverloadShiftsCRT(t *testing.T) {
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   108,
+		Faults: []faults.Injector{faults.ControllerOverload{ServiceTime: 10 * time.Millisecond}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindCRT] {
+		t.Errorf("controller overload should shift CRT; kinds = %v", kinds)
+	}
+}
+
+func TestUnauthorizedAccessDetected(t *testing.T) {
+	changes, res := runAndDiff(t, Scenario{
+		Seed:   109,
+		Faults: []faults.Injector{faults.UnauthorizedAccess{Attacker: "S24", Victim: "S8", Port: workload.PortDB}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindCG] {
+		t.Fatalf("unauthorized access should add a CG edge; kinds = %v", kinds)
+	}
+	report := Diagnose(changes, nil, res.Options())
+	if len(report.Unknown) == 0 {
+		t.Fatal("unauthorized access should remain unexplained")
+	}
+	if len(report.Problems) == 0 {
+		t.Fatal("no problem classification produced")
+	}
+}
+
+func TestSwitchFailureDetected(t *testing.T) {
+	// Kill an edge switch serving case-5 hosts: PT and CG change.
+	changes, _ := runAndDiff(t, Scenario{
+		Seed:   110,
+		Faults: []faults.Injector{faults.SwitchFailure{Switch: "sw2"}},
+	})
+	kinds := kindSet(changes)
+	if !kinds[signature.KindPT] && !kinds[signature.KindCG] {
+		t.Errorf("switch failure should surface in PT or CG; kinds = %v", kinds)
+	}
+}
+
+func TestVMigrationValidatedAsKnownChange(t *testing.T) {
+	// Execute a migration-like task during L2 whose flows create new CG
+	// edges; with the task automaton known, Diagnose must classify those
+	// changes as known.
+	script := workload.VMMigration("V1", "V2", "NFS")
+	res, err := RunScenario(Scenario{
+		Seed:  111,
+		Tasks: []workload.TaskScript{script},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := res.Options()
+
+	// Train the automaton from dedicated runs of the same task.
+	trainRes, err := RunScenario(Scenario{
+		Seed:        112,
+		BaselineDur: time.Second, FaultDur: 10 * time.Minute,
+		Tasks: []workload.TaskScript{script, script, script, script, script},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [][]FlowKey
+	for _, r := range trainRes.TaskRuns {
+		runs = append(runs, r.Flows)
+	}
+	if len(runs) < 5 {
+		t.Fatalf("only %d training runs", len(runs))
+	}
+	automaton, err := MineTask("vm-migration", runs, TaskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := BuildSignatures(res.L1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := BuildSignatures(res.L2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := Diff(base, cur, Thresholds{})
+	if len(changes) == 0 {
+		t.Fatal("task execution should surface as CG changes")
+	}
+
+	tasks := DetectTasks(res.L2, []*TaskAutomaton{automaton}, 0)
+	if len(tasks) == 0 {
+		t.Fatal("task not detected in L2")
+	}
+	report := Diagnose(changes, tasks, opts)
+	if len(report.Known) == 0 {
+		t.Errorf("no change was validated by the detected task; unknown = %+v", report.Unknown)
+	}
+	// Without the task time series everything stays unknown.
+	blind := Diagnose(changes, nil, opts)
+	if len(blind.Known) != 0 {
+		t.Error("without detections nothing should be explained")
+	}
+}
+
+func TestDependencyMatrixCongestionShape(t *testing.T) {
+	// Figure 8a: congestion sets DD/PC/FS rows in the ISL column.
+	changes, res := runAndDiff(t, Scenario{
+		Seed: 113,
+		Faults: []faults.Injector{faults.BackgroundTraffic{
+			From: "S24", To: "S4", Flows: 60, FlowBytes: 20 << 20,
+			Interval: 250 * time.Millisecond, QueueDelay: 25 * time.Millisecond,
+		}},
+	})
+	report := Diagnose(changes, nil, res.Options())
+	m := report.Matrix
+	if !m.Cells[signature.KindDD][signature.KindISL] &&
+		!m.Cells[signature.KindFS][signature.KindISL] &&
+		!m.Cells[signature.KindPC][signature.KindISL] {
+		t.Errorf("congestion matrix missing app-sig x ISL cells:\n%s", m)
+	}
+	if m.Cells[signature.KindCG][signature.KindPT] {
+		t.Error("congestion must not set the CG x PT cell")
+	}
+	// Classification should surface a congestion-flavored hypothesis.
+	foundCongestion := false
+	for _, p := range report.Problems[:min(3, len(report.Problems))] {
+		if p.Problem == "network bottleneck / congestion" || p.Problem == "switch overhead" {
+			foundCongestion = true
+		}
+	}
+	if !foundCongestion {
+		t.Errorf("congestion not among top hypotheses: %+v", report.Problems)
+	}
+}
+
+func TestComponentRankingImplicatesFaultyHost(t *testing.T) {
+	changes, res := runAndDiff(t, Scenario{
+		Seed:   114,
+		Faults: []faults.Injector{faults.HostShutdown{Host: "S3"}},
+	})
+	report := Diagnose(changes, nil, res.Options())
+	if len(report.Ranking) == 0 {
+		t.Fatal("empty component ranking")
+	}
+	if report.Ranking[0].Component != "S3" {
+		t.Errorf("top-ranked component = %s, want S3 (ranking %+v)",
+			report.Ranking[0].Component, report.Ranking)
+	}
+}
+
+func TestBuildSignaturesValidation(t *testing.T) {
+	if _, err := BuildSignatures(nil, Options{}); err == nil {
+		t.Error("want error for nil log")
+	}
+}
+
+func TestOptionsSpecialNodes(t *testing.T) {
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Topo: topo, Special: topology.ServiceNodes}
+	cfg := o.sigConfig()
+	if !cfg.Special["NFS"] {
+		t.Error("special nodes not propagated into signature config")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module flowdiff
+
+go 1.22

@@ -1,0 +1,228 @@
+package controller
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"flowdiff/internal/openflow"
+	"flowdiff/internal/switchsim"
+)
+
+// SwitchAgent exposes a simulated datapath (switchsim.Switch) to a remote
+// controller over a real TCP OpenFlow connection. It is the counterpart
+// of Server: the agent performs the Hello/Features handshake, reports
+// table misses as PacketIn (with the packet's ofp_match as payload),
+// applies incoming FlowMods to its flow table, and emits FlowRemoved when
+// entries expire.
+type SwitchAgent struct {
+	sw    *switchsim.Switch
+	conn  net.Conn
+	r     *openflow.Reader
+	w     *openflow.Writer
+	epoch time.Time
+
+	mu      sync.Mutex
+	nextXID uint32
+	// installed broadcasts table updates so tests can wait for a FlowMod
+	// to land without polling.
+	installed chan struct{}
+}
+
+// DefaultDialTimeout bounds connection establishment plus handshake in
+// Dial.
+const DefaultDialTimeout = 10 * time.Second
+
+// Dial connects the switch to a controller at addr and completes the
+// handshake, bounded by DefaultDialTimeout.
+func Dial(addr string, sw *switchsim.Switch) (*SwitchAgent, error) {
+	return DialTimeout(addr, sw, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit bound on connect + handshake.
+func DialTimeout(addr string, sw *switchsim.Switch, timeout time.Duration) (*SwitchAgent, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("controller: dialing %s: %w", addr, err)
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("controller: setting handshake deadline: %w", err)
+	}
+	a := &SwitchAgent{
+		sw:        sw,
+		conn:      conn,
+		r:         openflow.NewReader(conn),
+		w:         openflow.NewWriter(conn),
+		epoch:     time.Now(),
+		installed: make(chan struct{}, 16),
+	}
+	sw.OnFlowRemoved(a.sendFlowRemoved)
+	if err := a.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Clear the handshake deadline for the steady-state message loop.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("controller: clearing deadline: %w", err)
+	}
+	return a, nil
+}
+
+func (a *SwitchAgent) handshake() error {
+	// Server speaks first with Hello; reply, then answer FeaturesRequest.
+	msg, err := a.r.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("controller: agent reading hello: %w", err)
+	}
+	if msg.MsgType() != openflow.TypeHello {
+		return fmt.Errorf("controller: agent expected HELLO, got %v", msg.MsgType())
+	}
+	if err := a.w.WriteMessage(&openflow.Hello{XID: a.xid()}); err != nil {
+		return err
+	}
+	msg, err = a.r.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("controller: agent reading features request: %w", err)
+	}
+	req, ok := msg.(*openflow.FeaturesRequest)
+	if !ok {
+		return fmt.Errorf("controller: agent expected FEATURES_REQUEST, got %v", msg.MsgType())
+	}
+	reply := &openflow.FeaturesReply{
+		XID:        req.XID,
+		DatapathID: a.sw.DPID,
+		NBuffers:   256,
+		NTables:    1,
+	}
+	return a.w.WriteMessage(reply)
+}
+
+func (a *SwitchAgent) xid() uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextXID++
+	return a.nextXID
+}
+
+func (a *SwitchAgent) now() time.Duration { return time.Since(a.epoch) }
+
+// Run processes controller messages until the connection closes. Call it
+// in its own goroutine; it returns the terminal read error.
+func (a *SwitchAgent) Run() error {
+	for {
+		msg, err := a.r.ReadMessage()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *openflow.EchoRequest:
+			if err := a.w.WriteMessage(&openflow.EchoReply{XID: m.XID, Data: m.Data}); err != nil {
+				return err
+			}
+		case *openflow.FlowMod:
+			if err := a.applyFlowMod(m); err != nil {
+				return err
+			}
+		default:
+			// Ignore message types the agent does not model.
+		}
+	}
+}
+
+func (a *SwitchAgent) applyFlowMod(m *openflow.FlowMod) error {
+	outPort := uint16(0)
+	for _, act := range m.Actions {
+		if o, ok := act.(openflow.ActionOutput); ok {
+			outPort = o.Port
+			break
+		}
+	}
+	e := &switchsim.Entry{
+		Match:         m.Match,
+		Priority:      m.Priority,
+		OutPort:       outPort,
+		Cookie:        m.Cookie,
+		IdleTimeout:   time.Duration(m.IdleTimeout) * time.Second,
+		HardTimeout:   time.Duration(m.HardTimeout) * time.Second,
+		NotifyRemoved: m.Flags&openflow.FlowModFlagSendFlowRem != 0,
+	}
+	a.mu.Lock()
+	err := a.sw.Install(e, a.now())
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case a.installed <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// WaitInstalled blocks until a FlowMod has been applied or the timeout
+// elapses; it reports whether an install was observed.
+func (a *SwitchAgent) WaitInstalled(timeout time.Duration) bool {
+	select {
+	case <-a.installed:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Inject simulates the arrival of a packet at the datapath. On a table
+// hit it returns the matched entry; on a miss it sends a PacketIn to the
+// controller and returns ok=false.
+func (a *SwitchAgent) Inject(pkt openflow.Match, inPort uint16, bytes uint64) (*switchsim.Entry, bool, error) {
+	a.mu.Lock()
+	var missErr error
+	a.sw.OnPacketIn(func(_ *switchsim.Switch, p openflow.Match, in uint16, _ time.Duration) {
+		missErr = a.w.WriteMessage(&openflow.PacketIn{
+			XID:      a.nextXID + 1, // advanced below; safe under a.mu
+			BufferID: openflow.BufferNone,
+			TotalLen: uint16(openflow.MatchLen),
+			InPort:   in,
+			Reason:   openflow.PacketInReasonNoMatch,
+			Data:     openflow.MarshalMatchPayload(p),
+		})
+	})
+	a.nextXID++
+	e, ok := a.sw.Process(pkt, inPort, bytes, a.now())
+	a.mu.Unlock()
+	if missErr != nil {
+		return nil, false, fmt.Errorf("controller: sending PacketIn: %w", missErr)
+	}
+	return e, ok, nil
+}
+
+// Sweep expires timed-out entries, emitting FlowRemoved messages.
+func (a *SwitchAgent) Sweep() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sw.Sweep(a.now())
+}
+
+func (a *SwitchAgent) sendFlowRemoved(_ *switchsim.Switch, e *switchsim.Entry, reason uint8, now time.Duration) {
+	dur := now - e.Installed
+	msg := &openflow.FlowRemoved{
+		XID:          a.nextXID, // called with a.mu held via Sweep
+		Match:        e.Match,
+		Cookie:       e.Cookie,
+		Priority:     e.Priority,
+		Reason:       reason,
+		DurationSec:  uint32(dur / time.Second),
+		DurationNsec: uint32(dur % time.Second),
+		IdleTimeout:  uint16(e.IdleTimeout / time.Second),
+		PacketCount:  e.Packets,
+		ByteCount:    e.Bytes,
+	}
+	// Write errors here surface on the next Run() read; FlowRemoved is
+	// advisory.
+	_ = a.w.WriteMessage(msg)
+}
+
+// Close tears down the connection.
+func (a *SwitchAgent) Close() error { return a.conn.Close() }

@@ -1,0 +1,200 @@
+// Package controller implements the centralized control plane of a
+// flow-based data center: a NOX-like routing logic that reacts to
+// PacketIn messages by installing per-hop forwarding rules, the
+// deployment modes discussed in the paper's §VI (reactive microflow,
+// wildcard, proactive), and a real TCP OpenFlow control channel (Server
+// and SwitchAgent) used by the integration tests.
+package controller
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"flowdiff/internal/openflow"
+	"flowdiff/internal/switchsim"
+	"flowdiff/internal/topology"
+)
+
+// Mode selects the rule-installation strategy (§VI deployment
+// considerations).
+type Mode int
+
+// Deployment modes.
+const (
+	// ModeReactive installs one exact-match (microflow) entry per flow,
+	// per hop — maximal control-plane visibility.
+	ModeReactive Mode = iota
+	// ModeWildcard installs host-pair wildcard entries: only the first
+	// flow between a pair of hosts triggers control traffic.
+	ModeWildcard
+	// ModeProactive preinstalls all-pairs rules with no timeouts: no
+	// control traffic at all after startup.
+	ModeProactive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeReactive:
+		return "reactive"
+	case ModeWildcard:
+		return "wildcard"
+	case ModeProactive:
+		return "proactive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// InstallOp asks the data plane to install one flow-table entry.
+type InstallOp struct {
+	Switch string
+	Entry  switchsim.Entry
+}
+
+// Logic decides how to react to a table miss. Implementations must be
+// deterministic: the simulator replays decisions under a virtual clock.
+type Logic interface {
+	// PacketIn handles a table miss at switch swID and returns the
+	// entries to install. An error means the flow cannot be routed (the
+	// packet is dropped).
+	PacketIn(swID string, pkt openflow.Match, inPort uint16) ([]InstallOp, error)
+}
+
+// ShortestPath is the default routing logic: on a miss it computes the
+// shortest path between the packet's hosts and installs a forwarding rule
+// on the reporting switch (per-hop reactive setup, as in Figure 3 of the
+// paper).
+type ShortestPath struct {
+	Topo *topology.Topology
+	Mode Mode
+	// IdleTimeout / HardTimeout are applied to installed entries
+	// (seconds granularity on the wire; any duration here).
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+	// Priority of installed entries.
+	Priority uint16
+
+	paths map[pathKey][]topology.Hop
+}
+
+type pathKey struct {
+	src, dst topology.NodeID
+}
+
+// NewShortestPath builds the default logic with the paper's reactive
+// deployment: 5 s soft timeout, 60 s hard timeout.
+func NewShortestPath(topo *topology.Topology, mode Mode) *ShortestPath {
+	return &ShortestPath{
+		Topo:        topo,
+		Mode:        mode,
+		IdleTimeout: 5 * time.Second,
+		HardTimeout: 60 * time.Second,
+		Priority:    100,
+		paths:       make(map[pathKey][]topology.Hop),
+	}
+}
+
+// InvalidateRoutes clears the path cache; call after topology changes
+// (failures, recoveries).
+func (l *ShortestPath) InvalidateRoutes() {
+	l.paths = make(map[pathKey][]topology.Hop)
+}
+
+func (l *ShortestPath) path(src, dst topology.NodeID) ([]topology.Hop, error) {
+	k := pathKey{src, dst}
+	if p, ok := l.paths[k]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("controller: no path %s->%s (cached)", src, dst)
+		}
+		return p, nil
+	}
+	p, err := l.Topo.Path(src, dst)
+	if err != nil {
+		l.paths[k] = nil
+		return nil, err
+	}
+	l.paths[k] = p
+	return p, nil
+}
+
+// PacketIn implements Logic.
+func (l *ShortestPath) PacketIn(swID string, pkt openflow.Match, inPort uint16) ([]InstallOp, error) {
+	src := netip.AddrFrom4(pkt.NWSrc)
+	dst := netip.AddrFrom4(pkt.NWDst)
+	srcHost, ok := l.Topo.HostByAddr(src)
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown source host %v", src)
+	}
+	dstHost, ok := l.Topo.HostByAddr(dst)
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown destination host %v", dst)
+	}
+	hops, err := l.path(srcHost.ID, dstHost.ID)
+	if err != nil {
+		return nil, fmt.Errorf("controller: routing %v->%v: %w", src, dst, err)
+	}
+	var outPort uint16
+	found := false
+	for _, h := range hops {
+		if h.Node == topology.NodeID(swID) {
+			outPort = h.OutPort
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("controller: switch %s not on path %s->%s", swID, srcHost.ID, dstHost.ID)
+	}
+
+	var match openflow.Match
+	switch l.Mode {
+	case ModeWildcard:
+		match = openflow.HostPairMatch(src, dst)
+	default:
+		match = openflow.ExactMatch(pkt.NWProto, src, dst, pkt.TPSrc, pkt.TPDst)
+	}
+	op := InstallOp{
+		Switch: swID,
+		Entry: switchsim.Entry{
+			Match:         match,
+			Priority:      l.Priority,
+			OutPort:       outPort,
+			IdleTimeout:   l.IdleTimeout,
+			HardTimeout:   l.HardTimeout,
+			NotifyRemoved: true,
+		},
+	}
+	return []InstallOp{op}, nil
+}
+
+// ProactiveRules computes the all-pairs permanent rules installed at
+// startup in ModeProactive. Rules have no timeouts, so they never produce
+// FlowRemoved messages.
+func (l *ShortestPath) ProactiveRules() ([]InstallOp, error) {
+	hosts := l.Topo.Hosts()
+	var ops []InstallOp
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a.ID == b.ID {
+				continue
+			}
+			hops, err := l.path(a.ID, b.ID)
+			if err != nil {
+				continue // unreachable pair: nothing to install
+			}
+			for _, h := range l.Topo.SwitchHops(hops) {
+				ops = append(ops, InstallOp{
+					Switch: string(h.Node),
+					Entry: switchsim.Entry{
+						Match:    openflow.HostPairMatch(a.Addr, b.Addr),
+						Priority: l.Priority,
+						OutPort:  h.OutPort,
+					},
+				})
+			}
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,291 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/openflow"
+)
+
+// Server is a TCP OpenFlow controller. Switches (SwitchAgent or any
+// OpenFlow 1.0 speaker following the same conventions) connect, complete
+// the Hello/Features handshake, and report PacketIn / FlowRemoved
+// messages; the server consults its Logic and replies with FlowMods. All
+// control traffic is captured into a flowlog.Log with timestamps relative
+// to the server's epoch — the same shape of log the simulator produces, so
+// FlowDiff's pipeline runs unchanged on either source.
+//
+// Convention: because the agents are simulated datapaths, the PacketIn
+// payload carries the 40-byte ofp_match of the offending packet instead of
+// a raw Ethernet frame.
+type Server struct {
+	logic Logic
+	epoch time.Time
+
+	// resolve maps a datapath id to the topology node id used in logs.
+	resolve func(dpid uint64) string
+
+	mu     sync.Mutex
+	log    *flowlog.Log
+	conns  map[uint64]*serverConn
+	closed bool
+	ln     net.Listener
+	wg     sync.WaitGroup
+}
+
+type serverConn struct {
+	dpid uint64
+	name string
+	w    *openflow.Writer
+	c    net.Conn
+}
+
+// NewServer creates a controller server around the given logic. resolve
+// translates datapath ids to node names for logging; nil uses "dpid-N".
+func NewServer(logic Logic, resolve func(uint64) string) *Server {
+	if resolve == nil {
+		resolve = func(d uint64) string { return fmt.Sprintf("dpid-%d", d) }
+	}
+	return &Server{
+		logic:   logic,
+		epoch:   time.Now(),
+		resolve: resolve,
+		log:     flowlog.New(0, 0),
+		conns:   make(map[uint64]*serverConn),
+	}
+}
+
+// Log returns a snapshot of the control-traffic log captured so far.
+func (s *Server) Log() *flowlog.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := flowlog.New(s.log.Start, time.Since(s.epoch))
+	out.Events = append(out.Events, s.log.Events...)
+	out.Sort()
+	return out
+}
+
+func (s *Server) now() time.Duration { return time.Since(s.epoch) }
+
+func (s *Server) appendEvent(e flowlog.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.Append(e)
+}
+
+// Serve accepts connections on ln until Close is called. It always
+// returns a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(c); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level failures are expected at shutdown;
+				// nothing useful to do beyond dropping the peer.
+				_ = err
+			}
+		}()
+	}
+}
+
+// Close stops the listener and all connections, and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(c net.Conn) error {
+	defer c.Close()
+	r := openflow.NewReader(c)
+	w := openflow.NewWriter(c)
+
+	// Handshake: exchange Hello, then learn the datapath id.
+	if err := w.WriteMessage(&openflow.Hello{XID: 1}); err != nil {
+		return err
+	}
+	first, err := r.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("controller: reading peer hello: %w", err)
+	}
+	if first.MsgType() != openflow.TypeHello {
+		return fmt.Errorf("controller: expected HELLO, got %v", first.MsgType())
+	}
+	if err := w.WriteMessage(&openflow.FeaturesRequest{XID: 2}); err != nil {
+		return err
+	}
+	featMsg, err := r.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("controller: reading features: %w", err)
+	}
+	feat, ok := featMsg.(*openflow.FeaturesReply)
+	if !ok {
+		return fmt.Errorf("controller: expected FEATURES_REPLY, got %v", featMsg.MsgType())
+	}
+	name := s.resolve(feat.DatapathID)
+	conn := &serverConn{dpid: feat.DatapathID, name: name, w: w, c: c}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.conns[feat.DatapathID] = conn
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, feat.DatapathID)
+		s.mu.Unlock()
+	}()
+
+	for {
+		msg, err := r.ReadMessage()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *openflow.EchoRequest:
+			if err := w.WriteMessage(&openflow.EchoReply{XID: m.XID, Data: m.Data}); err != nil {
+				return err
+			}
+		case *openflow.PacketIn:
+			if err := s.handlePacketIn(conn, m); err != nil {
+				return err
+			}
+		case *openflow.FlowRemoved:
+			s.appendEvent(flowlog.Event{
+				Time:         s.now(),
+				Type:         flowlog.EventFlowRemoved,
+				Switch:       conn.name,
+				DPID:         conn.dpid,
+				Flow:         matchToFlowKey(m.Match),
+				Bytes:        m.ByteCount,
+				Packets:      m.PacketCount,
+				FlowDuration: time.Duration(m.DurationSec)*time.Second + time.Duration(m.DurationNsec),
+				Reason:       m.Reason,
+			})
+		case *openflow.PortStatus:
+			s.appendEvent(flowlog.Event{
+				Time:   s.now(),
+				Type:   flowlog.EventPortStatus,
+				Switch: conn.name,
+				DPID:   conn.dpid,
+				InPort: m.Desc.PortNo,
+				Reason: m.Reason,
+			})
+		default:
+			// Ignore other message types.
+		}
+	}
+}
+
+func (s *Server) handlePacketIn(conn *serverConn, m *openflow.PacketIn) error {
+	recvAt := s.now()
+	pkt, err := openflowMatchFromPayload(m.Data)
+	if err != nil {
+		return fmt.Errorf("controller: PACKET_IN payload: %w", err)
+	}
+	s.appendEvent(flowlog.Event{
+		Time:   recvAt,
+		Type:   flowlog.EventPacketIn,
+		Switch: conn.name,
+		DPID:   conn.dpid,
+		Flow:   matchToFlowKey(pkt),
+		InPort: m.InPort,
+		Reason: m.Reason,
+	})
+	ops, err := s.logic.PacketIn(conn.name, pkt, m.InPort)
+	if err != nil {
+		// Unroutable packet: drop silently, as NOX does for unknown hosts.
+		return nil
+	}
+	for _, op := range ops {
+		target := conn
+		if op.Switch != conn.name {
+			s.mu.Lock()
+			for _, c := range s.conns {
+				if c.name == op.Switch {
+					target = c
+					break
+				}
+			}
+			s.mu.Unlock()
+		}
+		fm := &openflow.FlowMod{
+			XID:         m.XID,
+			Match:       op.Entry.Match,
+			Command:     openflow.FlowModAdd,
+			IdleTimeout: uint16(op.Entry.IdleTimeout / time.Second),
+			HardTimeout: uint16(op.Entry.HardTimeout / time.Second),
+			Priority:    op.Entry.Priority,
+			BufferID:    m.BufferID,
+			OutPort:     openflow.PortNone,
+			Flags:       openflow.FlowModFlagSendFlowRem,
+			Actions:     []openflow.Action{openflow.ActionOutput{Port: op.Entry.OutPort}},
+		}
+		if err := target.w.WriteMessage(fm); err != nil {
+			return err
+		}
+		s.appendEvent(flowlog.Event{
+			Time:    s.now(),
+			Type:    flowlog.EventFlowMod,
+			Switch:  op.Switch,
+			DPID:    target.dpid,
+			Flow:    matchToFlowKey(op.Entry.Match),
+			OutPort: op.Entry.OutPort,
+		})
+	}
+	return nil
+}
+
+// matchToFlowKey projects an OpenFlow match onto the log's 5-tuple key.
+func matchToFlowKey(m openflow.Match) flowlog.FlowKey {
+	return flowlog.FlowKey{
+		Proto:   m.NWProto,
+		Src:     netip.AddrFrom4(m.NWSrc),
+		Dst:     netip.AddrFrom4(m.NWDst),
+		SrcPort: m.TPSrc,
+		DstPort: m.TPDst,
+	}
+}
+
+// openflowMatchFromPayload decodes the simulated packet payload (a
+// marshaled ofp_match) carried in PacketIn.Data.
+func openflowMatchFromPayload(data []byte) (openflow.Match, error) {
+	if len(data) < openflow.MatchLen {
+		return openflow.Match{}, fmt.Errorf("payload too short: %d bytes", len(data))
+	}
+	return openflow.UnmarshalMatchPayload(data)
+}

@@ -1,0 +1,188 @@
+package controller
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/openflow"
+	"flowdiff/internal/switchsim"
+	"flowdiff/internal/topology"
+)
+
+// startServer brings up a TCP controller over the lab topology and
+// returns its address plus a shutdown func.
+func startServer(t *testing.T, topo *topology.Topology) (*Server, string) {
+	t.Helper()
+	return startServerWithLogic(t, topo, NewShortestPath(topo, ModeReactive))
+}
+
+func startServerWithLogic(t *testing.T, topo *topology.Topology, logic Logic) (*Server, string) {
+	t.Helper()
+	resolve := func(dpid uint64) string {
+		if n, ok := topo.SwitchByDPID(dpid); ok {
+			return string(n.ID)
+		}
+		return "unknown"
+	}
+	srv := NewServer(logic, resolve)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// dialAgent connects a simulated datapath for the given topology switch.
+func dialAgent(t *testing.T, topo *topology.Topology, addr string, id topology.NodeID) *SwitchAgent {
+	t.Helper()
+	n, ok := topo.Node(id)
+	if !ok {
+		t.Fatalf("unknown switch %s", id)
+	}
+	sw := switchsim.New(string(id), n.DPID)
+	agent, err := Dial(addr, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = agent.Run() }()
+	t.Cleanup(func() { agent.Close() })
+	return agent
+}
+
+func TestTCPControlChannelEndToEnd(t *testing.T) {
+	topo := labTopo(t)
+	srv, addr := startServer(t, topo)
+
+	// Connect agents for the switches on the S1->S6 path (sw2, sw1, sw3).
+	hops, err := topo.Path("S1", "S6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make(map[topology.NodeID]*SwitchAgent)
+	var swHops []topology.Hop
+	for _, h := range topo.SwitchHops(hops) {
+		agents[h.Node] = dialAgent(t, topo, addr, h.Node)
+		swHops = append(swHops, h)
+	}
+
+	src := hostAddr(t, topo, "S1")
+	dst := hostAddr(t, topo, "S6")
+	pkt := openflow.ExactMatch(6, src, dst, 4242, 80)
+	pkt.Wildcards = 0
+
+	// Walk the first packet hop by hop, as in Figure 3 of the paper: each
+	// switch misses, asks the controller, gets a FlowMod, then forwards.
+	for _, h := range swHops {
+		a := agents[h.Node]
+		if _, hit, err := a.Inject(pkt, h.InPort, 1500); err != nil {
+			t.Fatalf("inject at %s: %v", h.Node, err)
+		} else if hit {
+			t.Fatalf("first packet should miss at %s", h.Node)
+		}
+		if !a.WaitInstalled(2 * time.Second) {
+			t.Fatalf("no FlowMod landed at %s", h.Node)
+		}
+		if e, hit, err := a.Inject(pkt, h.InPort, 1500); err != nil || !hit {
+			t.Fatalf("second packet should hit at %s (err=%v)", h.Node, err)
+		} else if e.OutPort != h.OutPort {
+			t.Fatalf("entry at %s forwards to %d, want %d", h.Node, e.OutPort, h.OutPort)
+		}
+	}
+
+	// The control log must show one PacketIn + one FlowMod per switch hop.
+	deadline := time.Now().Add(2 * time.Second)
+	var log *flowlog.Log
+	for {
+		log = srv.Log()
+		if len(log.ByType(flowlog.EventPacketIn).Events) == len(swHops) &&
+			len(log.ByType(flowlog.EventFlowMod).Events) == len(swHops) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log incomplete: %d PacketIn, %d FlowMod, want %d each",
+				len(log.ByType(flowlog.EventPacketIn).Events),
+				len(log.ByType(flowlog.EventFlowMod).Events), len(swHops))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, e := range log.ByType(flowlog.EventPacketIn).Events {
+		if e.Flow.Src != src || e.Flow.Dst != dst || e.Flow.DstPort != 80 {
+			t.Errorf("PacketIn flow key = %v", e.Flow)
+		}
+	}
+	// FlowMod events must each follow their PacketIn.
+	pis := log.ByType(flowlog.EventPacketIn).Events
+	fms := log.ByType(flowlog.EventFlowMod).Events
+	for i := range pis {
+		if fms[i].Time < pis[i].Time {
+			t.Errorf("FlowMod %d at %v precedes PacketIn at %v", i, fms[i].Time, pis[i].Time)
+		}
+	}
+}
+
+func TestTCPFlowRemovedReachesLog(t *testing.T) {
+	topo := labTopo(t)
+	logic := NewShortestPath(topo, ModeReactive)
+	logic.IdleTimeout = time.Second // keep the wall-clock wait short
+	srv, addr := startServerWithLogic(t, topo, logic)
+	agent := dialAgent(t, topo, addr, "sw2")
+
+	src := hostAddr(t, topo, "S1")
+	dst := hostAddr(t, topo, "S2")
+	pkt := openflow.ExactMatch(6, src, dst, 999, 80)
+	pkt.Wildcards = 0
+	if _, hit, err := agent.Inject(pkt, 1, 100); err != nil || hit {
+		t.Fatalf("inject: hit=%v err=%v", hit, err)
+	}
+	if !agent.WaitInstalled(2 * time.Second) {
+		t.Fatal("no FlowMod")
+	}
+	// A second packet hits the new entry so the final counters are
+	// non-zero.
+	if _, hit, err := agent.Inject(pkt, 1, 100); err != nil || !hit {
+		t.Fatalf("second inject: hit=%v err=%v", hit, err)
+	}
+
+	// Sweep until the 1 s idle timeout expires the entry.
+	deadline := time.Now().Add(4 * time.Second)
+	for agent.Sweep() == 0 {
+		if time.Now().After(deadline) {
+			t.Skip("idle timeout did not elapse in test budget")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// Wait for the FlowRemoved to arrive at the server.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		log := srv.Log()
+		frs := log.ByType(flowlog.EventFlowRemoved).Events
+		if len(frs) > 0 {
+			fr := frs[0]
+			if fr.Switch != "sw2" || fr.Bytes == 0 {
+				t.Errorf("FlowRemoved = %+v", fr)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("FlowRemoved never reached the controller log")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerRejectsAfterClose(t *testing.T) {
+	topo := labTopo(t)
+	srv, addr := startServer(t, topo)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := topo.Node("sw2")
+	sw := switchsim.New("sw2", n.DPID)
+	if _, err := DialTimeout(addr, sw, 500*time.Millisecond); err == nil {
+		t.Error("dial after close should fail")
+	}
+}

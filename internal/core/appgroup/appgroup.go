@@ -1,0 +1,218 @@
+// Package appgroup discovers application groups (paper §III-B): connected
+// components of the host-level communication graph built from control
+// traffic, split at operator-marked special-purpose service nodes (DNS,
+// NFS, NTP, …) so that unrelated applications sharing a storage or name
+// service are not merged into one group.
+package appgroup
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/topology"
+)
+
+// Edge is a directed host-to-host communication edge.
+type Edge struct {
+	Src, Dst topology.NodeID
+}
+
+// String renders "src->dst".
+func (e Edge) String() string { return fmt.Sprintf("%s->%s", e.Src, e.Dst) }
+
+// Group is one application group: the nodes of a connected communication
+// component (excluding special-purpose nodes) plus its internal edges.
+type Group struct {
+	// Nodes are the member hosts, sorted.
+	Nodes []topology.NodeID
+	// Edges are the directed communication edges among members and
+	// to/from special nodes observed for this group.
+	Edges []Edge
+}
+
+// Key returns a canonical identity for the group (its sorted member
+// list), stable across logs so groups can be matched between L1 and L2.
+//
+// Group identity must survive small membership changes (a crashed member
+// disappears from L2); Match handles that by overlap, Key by exact set.
+func (g Group) Key() string {
+	out := ""
+	for i, n := range g.Nodes {
+		if i > 0 {
+			out += ","
+		}
+		out += string(n)
+	}
+	return out
+}
+
+// Contains reports whether the group includes the host.
+func (g Group) Contains(id topology.NodeID) bool {
+	for _, n := range g.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolver maps flow addresses to node identities. Unknown addresses
+// (e.g. external hosts in an unauthorized-access scenario) are given
+// synthetic "ip:<addr>" ids so they still appear in the graph.
+type Resolver struct {
+	topo *topology.Topology
+}
+
+// NewResolver builds a resolver over a topology.
+func NewResolver(topo *topology.Topology) *Resolver {
+	return &Resolver{topo: topo}
+}
+
+// Node resolves an address to a node id.
+func (r *Resolver) Node(addr netip.Addr) topology.NodeID {
+	if r.topo != nil {
+		if h, ok := r.topo.HostByAddr(addr); ok {
+			return h.ID
+		}
+	}
+	return topology.NodeID("ip:" + addr.String())
+}
+
+// BuildEdges extracts the distinct directed host edges from a log's
+// PacketIn traffic.
+func BuildEdges(log *flowlog.Log, r *Resolver) map[Edge]int {
+	edges := make(map[Edge]int)
+	for _, key := range log.Flows() {
+		e := Edge{Src: r.Node(key.Src), Dst: r.Node(key.Dst)}
+		edges[e]++
+	}
+	return edges
+}
+
+// Discover partitions the communication graph into application groups.
+// Special-purpose nodes act as boundaries: they do not merge components
+// and belong to no group, but edges touching them are attributed to the
+// group of their non-special endpoint (paper §III-B).
+func Discover(log *flowlog.Log, r *Resolver, special map[topology.NodeID]bool) []Group {
+	edges := BuildEdges(log, r)
+
+	// Union-find over non-special nodes.
+	parent := make(map[topology.NodeID]topology.NodeID)
+	var find func(topology.NodeID) topology.NodeID
+	find = func(x topology.NodeID) topology.NodeID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b topology.NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for e := range edges {
+		sSpecial, dSpecial := special[e.Src], special[e.Dst]
+		switch {
+		case sSpecial && dSpecial:
+			// Service-to-service traffic joins no group.
+		case sSpecial:
+			find(e.Dst)
+		case dSpecial:
+			find(e.Src)
+		default:
+			union(e.Src, e.Dst)
+		}
+	}
+
+	members := make(map[topology.NodeID][]topology.NodeID)
+	for n := range parent {
+		root := find(n)
+		members[root] = append(members[root], n)
+	}
+
+	var groups []Group
+	for _, nodes := range members {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		inGroup := make(map[topology.NodeID]bool, len(nodes))
+		for _, n := range nodes {
+			inGroup[n] = true
+		}
+		var ge []Edge
+		for e := range edges {
+			if inGroup[e.Src] || inGroup[e.Dst] {
+				ge = append(ge, e)
+			}
+		}
+		sort.Slice(ge, func(i, j int) bool {
+			if ge[i].Src != ge[j].Src {
+				return ge[i].Src < ge[j].Src
+			}
+			return ge[i].Dst < ge[j].Dst
+		})
+		groups = append(groups, Group{Nodes: nodes, Edges: ge})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key() < groups[j].Key() })
+	return groups
+}
+
+// Match pairs groups from two logs by maximal member overlap, so a group
+// that lost or gained a host (crash, scale-out) is still compared against
+// its counterpart. Unmatched groups pair with a zero Group.
+func Match(base, cur []Group) []GroupPair {
+	usedCur := make([]bool, len(cur))
+	var pairs []GroupPair
+	for _, b := range base {
+		bestIdx, bestOverlap := -1, 0
+		for i, c := range cur {
+			if usedCur[i] {
+				continue
+			}
+			ov := overlap(b, c)
+			if ov > bestOverlap {
+				bestOverlap, bestIdx = ov, i
+			}
+		}
+		if bestIdx >= 0 {
+			usedCur[bestIdx] = true
+			pairs = append(pairs, GroupPair{Base: b, Cur: cur[bestIdx], Matched: true})
+		} else {
+			pairs = append(pairs, GroupPair{Base: b})
+		}
+	}
+	for i, c := range cur {
+		if !usedCur[i] {
+			pairs = append(pairs, GroupPair{Cur: c, New: true})
+		}
+	}
+	return pairs
+}
+
+// GroupPair is a base/current group correspondence.
+type GroupPair struct {
+	Base, Cur Group
+	// Matched means both sides are present; New means the group only
+	// exists in the current log.
+	Matched bool
+	New     bool
+}
+
+func overlap(a, b Group) int {
+	n := 0
+	for _, x := range a.Nodes {
+		if b.Contains(x) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/core/diff"
+	"flowdiff/internal/core/signature"
+	"flowdiff/internal/core/taskmine"
+	"flowdiff/internal/topology"
+)
+
+func change(k signature.Kind, at time.Duration, comps ...string) diff.Change {
+	return diff.Change{Kind: k, At: at, Components: comps, Description: string(k) + " change"}
+}
+
+func labResolver(t *testing.T) *appgroup.Resolver {
+	t.Helper()
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return appgroup.NewResolver(topo)
+}
+
+func TestValidateExplainsTaskChanges(t *testing.T) {
+	r := labResolver(t)
+	topo, _ := topology.Lab()
+	v1, _ := topo.Node("V1")
+	v2, _ := topo.Node("V2")
+
+	changes := []diff.Change{
+		change(signature.KindCG, 100*time.Second, "V1", "V2"),
+		change(signature.KindCG, 500*time.Second, "S1", "S3"), // unrelated time
+		change(signature.KindDD, 0, "S9"),                     // unrelated components
+	}
+	tasks := []taskmine.Detection{{
+		Task:  "vm-migration",
+		Start: 99 * time.Second,
+		End:   101 * time.Second,
+		Hosts: []string{v1.Addr.String(), v2.Addr.String()},
+	}}
+	known, unknown := Validate(changes, tasks, r, 5*time.Second)
+	if len(known) != 1 || known[0].Components[0] != "V1" {
+		t.Errorf("known = %+v", known)
+	}
+	if len(unknown) != 2 {
+		t.Errorf("unknown = %+v", unknown)
+	}
+}
+
+func TestValidateRequiresComponentOverlap(t *testing.T) {
+	r := labResolver(t)
+	changes := []diff.Change{change(signature.KindCG, 100*time.Second, "S1", "S3")}
+	tasks := []taskmine.Detection{{
+		Task: "t", Start: 99 * time.Second, End: 101 * time.Second,
+		Hosts: []string{"10.0.2.1"}, // V1 only
+	}}
+	known, unknown := Validate(changes, tasks, r, 5*time.Second)
+	if len(known) != 0 || len(unknown) != 1 {
+		t.Errorf("time overlap without component overlap must not explain: known=%v", known)
+	}
+}
+
+func TestValidateNoTasks(t *testing.T) {
+	changes := []diff.Change{change(signature.KindCG, 0, "A")}
+	known, unknown := Validate(changes, nil, nil, 0)
+	if len(known) != 0 || len(unknown) != 1 {
+		t.Error("without tasks everything is unknown")
+	}
+}
+
+func TestBuildMatrixCongestion(t *testing.T) {
+	// Figure 8a: DD/PC/FS changed together with ISL.
+	unknown := []diff.Change{
+		change(signature.KindDD, 0, "S3"),
+		change(signature.KindPC, 0, "S3"),
+		change(signature.KindFS, 0, "S1", "S3"),
+		change(signature.KindISL, 0, "sw1", "sw2"),
+	}
+	m := BuildMatrix(unknown)
+	for _, row := range []signature.Kind{signature.KindDD, signature.KindPC, signature.KindFS} {
+		if !m.Cells[row][signature.KindISL] {
+			t.Errorf("cell %v x ISL not set", row)
+		}
+		if m.Cells[row][signature.KindPT] || m.Cells[row][signature.KindCRT] {
+			t.Errorf("cell %v has spurious PT/CRT", row)
+		}
+	}
+	if m.Cells[signature.KindCG][signature.KindISL] {
+		t.Error("CG did not change; its row must be empty")
+	}
+}
+
+func TestBuildMatrixSwitchFailure(t *testing.T) {
+	// Figure 8b: only CG x PT set.
+	unknown := []diff.Change{
+		change(signature.KindCG, 0, "S1", "S3"),
+		change(signature.KindPT, 0, "sw2"),
+	}
+	m := BuildMatrix(unknown)
+	if !m.Cells[signature.KindCG][signature.KindPT] {
+		t.Error("CG x PT should be set")
+	}
+	for _, row := range m.Rows {
+		for _, col := range m.Cols {
+			if row == signature.KindCG && col == signature.KindPT {
+				continue
+			}
+			if m.Cells[row][col] {
+				t.Errorf("spurious cell %v x %v", row, col)
+			}
+		}
+	}
+	s := m.String()
+	if !strings.Contains(s, "CG") || !strings.Contains(s, "PT") {
+		t.Errorf("matrix render missing headers:\n%s", s)
+	}
+}
+
+func TestClassifyCongestion(t *testing.T) {
+	unknown := []diff.Change{
+		change(signature.KindDD, 0, "S3"),
+		change(signature.KindPC, 0, "S3"),
+		change(signature.KindFS, 0, "S1", "S3"),
+		change(signature.KindISL, 0, "sw1", "sw2"),
+	}
+	ranked := Classify(unknown)
+	if len(ranked) == 0 {
+		t.Fatal("no classification")
+	}
+	if ranked[0].Problem != NetworkBottleneck && ranked[0].Problem != SwitchOverhead {
+		t.Errorf("top hypothesis = %v, want congestion-flavored", ranked[0].Problem)
+	}
+}
+
+func TestClassifyUnauthorizedAccess(t *testing.T) {
+	unknown := []diff.Change{
+		{Kind: signature.KindCG, Description: "new edge ip:203.0.113.9->S8", Components: []string{"ip:203.0.113.9", "S8"}},
+		change(signature.KindCI, 0, "S8"),
+		change(signature.KindFS, 0, "S8"),
+	}
+	ranked := Classify(unknown)
+	if len(ranked) == 0 {
+		t.Fatal("no classification")
+	}
+	if ranked[0].Problem != UnauthorizedAccess {
+		t.Errorf("top hypothesis = %v, want unauthorized access (ranking %+v)", ranked[0].Problem, ranked)
+	}
+}
+
+func TestClassifyHostVsAppFailure(t *testing.T) {
+	// Host failure: node lost multiple edges, nothing added.
+	hostDown := []diff.Change{
+		{Kind: signature.KindCG, Description: "edge S2->S3 missing", Components: []string{"S2", "S3"}},
+		{Kind: signature.KindCG, Description: "edge S3->S8 missing", Components: []string{"S3", "S8"}},
+		change(signature.KindCI, 0, "S3"),
+		change(signature.KindFS, 0, "S3"),
+	}
+	ranked := Classify(hostDown)
+	if len(ranked) == 0 {
+		t.Fatal("no classification")
+	}
+	if ranked[0].Problem != HostFailure {
+		t.Errorf("top hypothesis = %v, want host failure", ranked[0].Problem)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if got := Classify(nil); got != nil {
+		t.Errorf("Classify(nil) = %v", got)
+	}
+}
+
+func TestRankComponents(t *testing.T) {
+	unknown := []diff.Change{
+		change(signature.KindCG, 0, "S3", "S8"),
+		change(signature.KindCI, 0, "S3"),
+		change(signature.KindDD, 0, "S3"),
+		change(signature.KindFS, 0, "S8"),
+	}
+	ranking := RankComponents(unknown)
+	if len(ranking) != 2 {
+		t.Fatalf("ranking = %+v", ranking)
+	}
+	if ranking[0].Component != "S3" || ranking[0].Changes != 3 {
+		t.Errorf("top = %+v, want S3 with 3 changes", ranking[0])
+	}
+	if ranking[1].Component != "S8" || ranking[1].Changes != 2 {
+		t.Errorf("second = %+v", ranking[1])
+	}
+}
+
+func TestDiagnoseEndToEnd(t *testing.T) {
+	r := labResolver(t)
+	changes := []diff.Change{
+		change(signature.KindCG, 10*time.Second, "S3", "S8"),
+		change(signature.KindCI, 0, "S3"),
+	}
+	rep := Diagnose(changes, nil, r, 0)
+	if len(rep.Unknown) != 2 || len(rep.Known) != 0 {
+		t.Errorf("report split wrong: %+v", rep)
+	}
+	if len(rep.Problems) == 0 || len(rep.Ranking) == 0 {
+		t.Error("report missing classification or ranking")
+	}
+}
+
+// TestClassifyAllPatterns feeds each Figure 2b class's exact impact set to
+// the classifier and checks the class lands at or near the top.
+func TestClassifyAllPatterns(t *testing.T) {
+	for problem := range map[Problem]bool{
+		HostFailure: true, HostPerformance: true, AppFailure: true,
+		AppPerformance: true, NetworkDisconnect: true, NetworkBottleneck: true,
+		SwitchMisconfig: true, SwitchOverhead: true, ControllerOverhead: true,
+		SwitchFailure: true, ControllerFailure: true, UnauthorizedAccess: true,
+	} {
+		var changes []diff.Change
+		for _, k := range PatternOf(problem) {
+			c := change(k, 0, "X")
+			if problem == UnauthorizedAccess && k == signature.KindCG {
+				c = diff.Change{Kind: k, Description: "new edge ip:203.0.113.9->X", Components: []string{"ip:203.0.113.9", "X"}}
+			}
+			changes = append(changes, c)
+		}
+		ranked := Classify(changes)
+		if len(ranked) == 0 {
+			t.Fatalf("%s: no classification", problem)
+		}
+		// The true class must appear within the top 3 (several classes
+		// intentionally share patterns, e.g. host vs application failure).
+		found := false
+		for i, s := range ranked {
+			if i >= 3 {
+				break
+			}
+			if s.Problem == problem {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: not in top-3 of %+v", problem, ranked[:min(3, len(ranked))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPatternOfUnknown(t *testing.T) {
+	if PatternOf(Problem("nonsense")) != nil {
+		t.Error("unknown problem should have nil pattern")
+	}
+}

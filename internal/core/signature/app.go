@@ -1,0 +1,335 @@
+package signature
+
+import (
+	"sort"
+	"time"
+
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/stats"
+	"flowdiff/internal/topology"
+)
+
+// Kind identifies one signature component.
+type Kind string
+
+// Signature component kinds (paper Figure 2a).
+const (
+	KindCG  Kind = "CG"  // connectivity graph
+	KindFS  Kind = "FS"  // flow statistics
+	KindCI  Kind = "CI"  // component interaction
+	KindDD  Kind = "DD"  // delay distribution
+	KindPC  Kind = "PC"  // partial correlation
+	KindPT  Kind = "PT"  // physical topology
+	KindISL Kind = "ISL" // inter-switch latency
+	KindCRT Kind = "CRT" // controller response time
+)
+
+// Config tunes signature extraction. Zero values take the documented
+// defaults.
+type Config struct {
+	// OccurrenceGap separates episodes of the same flow key. Default 1 s.
+	OccurrenceGap time.Duration
+	// DDBin is the delay-distribution bucket width. Default 20 ms (the
+	// paper plots delays with 20 ms bins).
+	DDBin time.Duration
+	// DDWindow caps how far ahead an outgoing flow may start and still be
+	// paired with an incoming flow. Default 1 s.
+	DDWindow time.Duration
+	// PCEpoch is the epoch length for the flow-count time series behind
+	// the partial-correlation signature. Default 5 s.
+	PCEpoch time.Duration
+	// Special marks the data center's service nodes (group boundaries).
+	Special map[topology.NodeID]bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.OccurrenceGap <= 0 {
+		c.OccurrenceGap = DefaultOccurrenceGap
+	}
+	if c.DDBin <= 0 {
+		c.DDBin = 20 * time.Millisecond
+	}
+	if c.DDWindow <= 0 {
+		c.DDWindow = time.Second
+	}
+	if c.PCEpoch <= 0 {
+		c.PCEpoch = 5 * time.Second
+	}
+	return c
+}
+
+// Edge aliases the application-group edge type.
+type Edge = appgroup.Edge
+
+// EdgePair is a pair of adjacent edges (in and out of the shared node).
+type EdgePair struct {
+	In, Out Edge
+}
+
+// FlowStats is the FS signature for one edge.
+type FlowStats struct {
+	// FlowCount is the number of flow occurrences on the edge.
+	FlowCount int
+	// FirstSeen is the earliest occurrence start on the edge (anchors CG
+	// additions in time for task validation).
+	FirstSeen time.Duration
+	// Bytes/Packets/Duration summarize the FlowRemoved counters of the
+	// edge's flows.
+	Bytes    stats.Summary
+	Packets  stats.Summary
+	Duration stats.Summary
+	// BytesSamples retains the raw per-flow byte counts for CDF plots
+	// (Figure 9a).
+	BytesSamples []float64
+}
+
+// CISig is the component-interaction signature at a node: normalized flow
+// counts per adjacent edge.
+type CISig struct {
+	// Edges lists the node's adjacent edges in sorted order; Fractions
+	// and Counts are parallel to it.
+	Edges     []Edge
+	Counts    []float64
+	Fractions []float64
+}
+
+// DDSig is the delay-distribution signature for one adjacent edge pair.
+type DDSig struct {
+	Histogram *stats.Histogram
+	// Peak is the dominant peak of the distribution.
+	Peak stats.Peak
+	// Samples is the number of delay pairs observed.
+	Samples int
+}
+
+// AppSignature models one application group (paper §III-B).
+type AppSignature struct {
+	Group appgroup.Group
+	// LogDuration is the length of the interval the signature was built
+	// from, for rate normalization when comparing logs of different
+	// lengths.
+	LogDuration time.Duration
+	// CG is the set of directed communication edges.
+	CG map[Edge]bool
+	// FS per edge.
+	FS map[Edge]FlowStats
+	// GroupFS aggregates flow counts for the whole group.
+	GroupFS FlowStats
+	// CI per member node.
+	CI map[topology.NodeID]CISig
+	// DD per adjacent edge pair.
+	DD map[EdgePair]DDSig
+	// PC per adjacent edge pair (Pearson over per-epoch flow counts).
+	PC map[EdgePair]float64
+}
+
+// Build extracts both application and infrastructure signatures with a
+// single occurrence-extraction pass (the dominant cost on large logs).
+func Build(log *flowlog.Log, r *appgroup.Resolver, cfg Config) ([]AppSignature, InfraSignature) {
+	cfg = cfg.withDefaults()
+	occs := Occurrences(log, cfg.OccurrenceGap)
+	inf := buildInfraFromOccs(r, cfg, occs)
+	inf.LogDuration = log.Duration()
+	attachLinkBytes(&inf, log, cfg)
+	return buildAppFromOccs(log, r, cfg, occs), inf
+}
+
+// BuildApp extracts per-group application signatures from a log.
+func BuildApp(log *flowlog.Log, r *appgroup.Resolver, cfg Config) []AppSignature {
+	cfg = cfg.withDefaults()
+	return buildAppFromOccs(log, r, cfg, Occurrences(log, cfg.OccurrenceGap))
+}
+
+func buildAppFromOccs(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
+	groups := appgroup.Discover(log, r, cfg.Special)
+
+	// Index occurrences and FlowRemoved events by host edge.
+	occsByEdge := make(map[Edge][]Occurrence)
+	for _, o := range occs {
+		e := Edge{Src: r.Node(o.Key.Src), Dst: r.Node(o.Key.Dst)}
+		occsByEdge[e] = append(occsByEdge[e], o)
+	}
+	removedByEdge := make(map[Edge][]flowlog.Event)
+	for _, ev := range log.ByType(flowlog.EventFlowRemoved).Events {
+		e := Edge{Src: r.Node(ev.Flow.Src), Dst: r.Node(ev.Flow.Dst)}
+		removedByEdge[e] = append(removedByEdge[e], ev)
+	}
+
+	var out []AppSignature
+	for _, g := range groups {
+		sig := AppSignature{
+			Group:       g,
+			LogDuration: log.Duration(),
+			CG:          make(map[Edge]bool),
+			FS:          make(map[Edge]FlowStats),
+			CI:          make(map[topology.NodeID]CISig),
+			DD:          make(map[EdgePair]DDSig),
+			PC:          make(map[EdgePair]float64),
+		}
+		for _, e := range g.Edges {
+			sig.CG[e] = true
+			sig.FS[e] = edgeStats(occsByEdge[e], removedByEdge[e])
+			sig.GroupFS.FlowCount += sig.FS[e].FlowCount
+		}
+		buildCI(&sig)
+		buildDDAndPC(&sig, occsByEdge, log, cfg)
+		out = append(out, sig)
+	}
+	return out
+}
+
+func edgeStats(occs []Occurrence, removed []flowlog.Event) FlowStats {
+	fs := FlowStats{FlowCount: len(occs)}
+	for i, o := range occs {
+		if i == 0 || o.Start < fs.FirstSeen {
+			fs.FirstSeen = o.Start
+		}
+	}
+	var bytes, pkts, durs []float64
+	for _, ev := range removed {
+		bytes = append(bytes, float64(ev.Bytes))
+		pkts = append(pkts, float64(ev.Packets))
+		durs = append(durs, float64(ev.FlowDuration))
+	}
+	fs.Bytes = stats.Summarize(bytes)
+	fs.Packets = stats.Summarize(pkts)
+	fs.Duration = stats.Summarize(durs)
+	fs.BytesSamples = bytes
+	return fs
+}
+
+// buildCI computes, for each member node, the normalized flow count per
+// adjacent edge (paper: "number of flows on each incoming or outgoing
+// edge ... normalized to the total number of communications to and from
+// the node").
+func buildCI(sig *AppSignature) {
+	for _, node := range sig.Group.Nodes {
+		var edges []Edge
+		for e := range sig.CG {
+			if e.Src == node || e.Dst == node {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Src != edges[j].Src {
+				return edges[i].Src < edges[j].Src
+			}
+			return edges[i].Dst < edges[j].Dst
+		})
+		ci := CISig{Edges: edges}
+		total := 0.0
+		for _, e := range edges {
+			c := float64(sig.FS[e].FlowCount)
+			ci.Counts = append(ci.Counts, c)
+			total += c
+		}
+		ci.Fractions = make([]float64, len(ci.Counts))
+		if total > 0 {
+			for i, c := range ci.Counts {
+				ci.Fractions[i] = c / total
+			}
+		}
+		sig.CI[node] = ci
+	}
+}
+
+// buildDDAndPC computes the delay distribution and partial correlation
+// for every adjacent edge pair (A->B, B->C) of the group.
+func buildDDAndPC(sig *AppSignature, occsByEdge map[Edge][]Occurrence, log *flowlog.Log, cfg Config) {
+	// Adjacent pairs share node B.
+	var pairs []EdgePair
+	for in := range sig.CG {
+		for out := range sig.CG {
+			if in.Dst == out.Src && in.Src != out.Dst {
+				pairs = append(pairs, EdgePair{In: in, Out: out})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.In != b.In {
+			if a.In.Src != b.In.Src {
+				return a.In.Src < b.In.Src
+			}
+			return a.In.Dst < b.In.Dst
+		}
+		if a.Out.Src != b.Out.Src {
+			return a.Out.Src < b.Out.Src
+		}
+		return a.Out.Dst < b.Out.Dst
+	})
+
+	for _, p := range pairs {
+		ins := occsByEdge[p.In]
+		outs := occsByEdge[p.Out]
+		if dd, ok := delayDistribution(ins, outs, cfg); ok {
+			sig.DD[p] = dd
+		}
+		if pc, ok := edgeCorrelation(ins, outs, log, cfg); ok {
+			sig.PC[p] = pc
+		}
+	}
+}
+
+// delayDistribution pairs each incoming flow start with all subsequent
+// outgoing flow starts within the window and histograms the deltas
+// (paper §III-B, DD).
+func delayDistribution(ins, outs []Occurrence, cfg Config) (DDSig, bool) {
+	if len(ins) == 0 || len(outs) == 0 {
+		return DDSig{}, false
+	}
+	h, err := stats.NewHistogram(0, float64(cfg.DDBin))
+	if err != nil {
+		return DDSig{}, false
+	}
+	outStarts := make([]time.Duration, len(outs))
+	for i, o := range outs {
+		outStarts[i] = o.Start
+	}
+	sort.Slice(outStarts, func(i, j int) bool { return outStarts[i] < outStarts[j] })
+	samples := 0
+	for _, in := range ins {
+		idx := sort.Search(len(outStarts), func(i int) bool { return outStarts[i] > in.Start })
+		for ; idx < len(outStarts); idx++ {
+			d := outStarts[idx] - in.Start
+			if d > cfg.DDWindow {
+				break
+			}
+			h.Add(float64(d))
+			samples++
+		}
+	}
+	if samples == 0 {
+		return DDSig{}, false
+	}
+	peak, _ := h.DominantPeak()
+	return DDSig{Histogram: h, Peak: peak, Samples: samples}, true
+}
+
+// edgeCorrelation computes the Pearson correlation between the two
+// edges' per-epoch flow-count time series (paper §III-B, PC).
+func edgeCorrelation(ins, outs []Occurrence, log *flowlog.Log, cfg Config) (float64, bool) {
+	nEpochs := int(log.Duration() / cfg.PCEpoch)
+	if nEpochs < 3 {
+		return 0, false
+	}
+	series := func(occs []Occurrence) []float64 {
+		s := make([]float64, nEpochs)
+		for _, o := range occs {
+			i := int((o.Start - log.Start) / cfg.PCEpoch)
+			if i >= 0 && i < nEpochs {
+				s[i]++
+			}
+		}
+		return s
+	}
+	r, err := stats.Pearson(series(ins), series(outs))
+	if err != nil {
+		return 0, false
+	}
+	return r, true
+}

@@ -1,0 +1,126 @@
+// Package signature builds FlowDiff's behavioral models from control
+// traffic (paper §III): the five application signatures — connectivity
+// graph (CG), flow statistics (FS), component interaction (CI), delay
+// distribution (DD), and partial correlation (PC) — and the three
+// infrastructure signatures — physical topology (PT), inter-switch
+// latency (ISL), and controller response time (CRT) — plus the
+// per-interval stability analysis that decides which signatures are
+// trustworthy for diffing.
+package signature
+
+import (
+	"sort"
+	"time"
+
+	"flowdiff/internal/flowlog"
+)
+
+// Occurrence is one appearance of a flow in the log: the burst of control
+// events (one PacketIn per switch on the path, plus the FlowMods answering
+// them) produced when a flow without an installed rule starts. A flow key
+// can occur several times in a log (entry expires, flow restarts); each
+// episode is a separate occurrence.
+type Occurrence struct {
+	Key flowlog.FlowKey
+	// Start is the earliest PacketIn timestamp of the episode — the
+	// flow's start as the controller sees it.
+	Start time.Duration
+	// Events are the episode's PacketIn/FlowMod events in time order.
+	Events []flowlog.Event
+}
+
+// Switches returns the episode's switch visit order (from PacketIns).
+func (o Occurrence) Switches() []string {
+	var out []string
+	for _, e := range o.Events {
+		if e.Type == flowlog.EventPacketIn {
+			out = append(out, e.Switch)
+		}
+	}
+	return out
+}
+
+// DefaultOccurrenceGap separates two occurrences of the same flow key: a
+// quiet period longer than this starts a new episode. Path setup spans
+// milliseconds; entry timeouts are seconds, so one second cleanly
+// separates episodes.
+const DefaultOccurrenceGap = time.Second
+
+// Occurrences extracts flow episodes from a log. Events are grouped per
+// flow key, ordered by time, and split wherever the gap between
+// consecutive control events of the key exceeds gap (<=0 uses
+// DefaultOccurrenceGap). The result is ordered by start time.
+func Occurrences(log *flowlog.Log, gap time.Duration) []Occurrence {
+	if gap <= 0 {
+		gap = DefaultOccurrenceGap
+	}
+	// Work with indices into log.Events to avoid copying the (large)
+	// Event structs while grouping.
+	perKey := make(map[flowlog.FlowKey][]int32)
+	for i := range log.Events {
+		t := log.Events[i].Type
+		if t != flowlog.EventPacketIn && t != flowlog.EventFlowMod {
+			continue
+		}
+		perKey[log.Events[i].Flow] = append(perKey[log.Events[i].Flow], int32(i))
+	}
+	out := make([]Occurrence, 0, len(perKey))
+	for key, idxs := range perKey {
+		// Logs are normally already time-sorted, in which case the
+		// scan-order index list is sorted too; only fall back to an
+		// explicit sort when needed.
+		sorted := true
+		for j := 1; j < len(idxs); j++ {
+			if log.Events[idxs[j]].Time < log.Events[idxs[j-1]].Time {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.SliceStable(idxs, func(a, b int) bool {
+				return log.Events[idxs[a]].Time < log.Events[idxs[b]].Time
+			})
+		}
+		// One contiguous buffer per key; episodes are subslices of it.
+		buf := make([]flowlog.Event, len(idxs))
+		for j, idx := range idxs {
+			buf[j] = log.Events[idx]
+		}
+		epStart := 0
+		flush := func(end int) {
+			if end == epStart {
+				return
+			}
+			events := buf[epStart:end:end]
+			occ := Occurrence{Key: key, Events: events}
+			found := false
+			for _, e := range events {
+				if e.Type == flowlog.EventPacketIn {
+					occ.Start = e.Time
+					found = true
+					break
+				}
+			}
+			// Episodes with no PacketIn (wildcard-mode FlowMods keyed by
+			// the installed match) fall back to the first event's time.
+			if !found {
+				occ.Start = events[0].Time
+			}
+			out = append(out, occ)
+			epStart = end
+		}
+		for j := 1; j < len(buf); j++ {
+			if buf[j].Time-buf[j-1].Time > gap {
+				flush(j)
+			}
+		}
+		flush(len(buf))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out
+}

@@ -1,0 +1,326 @@
+package taskmine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is a contiguous sequence of templates mined from the runs,
+// together with its support (fraction of runs containing it).
+type Pattern struct {
+	Seq     []Template
+	Support float64
+	// fallback marks a length-1 pattern kept only so segmentation always
+	// succeeds (it was closed-pruned but may be needed at run edges).
+	fallback bool
+}
+
+func (p Pattern) key() string {
+	var sb strings.Builder
+	for _, t := range p.Seq {
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+// Automaton is a task signature: states are mined patterns; transitions
+// record which state may follow which, as observed when segmenting the
+// training runs; matching a path from a start state through transitions
+// to the end of a final state constitutes a task detection.
+type Automaton struct {
+	Name   string
+	States []Pattern
+
+	start       map[int]bool
+	final       map[int]bool
+	transitions map[int]map[int]bool
+	cfg         Config
+}
+
+// Config returns the configuration the automaton was mined with.
+func (a *Automaton) Config() Config { return a.cfg }
+
+// NumStates returns the state count (for the closed-pruning ablation).
+func (a *Automaton) NumStates() int { return len(a.States) }
+
+// StartStates returns the indices of start states (sorted).
+func (a *Automaton) StartStates() []int { return sortedKeys(a.start) }
+
+// FinalStates returns the indices of final states (sorted).
+func (a *Automaton) FinalStates() []int { return sortedKeys(a.final) }
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MineOptions toggles algorithm variants for ablation studies.
+type MineOptions struct {
+	// DisableClosedPruning keeps all frequent patterns as states instead
+	// of only closed ones.
+	DisableClosedPruning bool
+}
+
+// Mine learns a task automaton from n runs of the same task.
+func Mine(name string, runs [][]Template, cfg Config) (*Automaton, error) {
+	return MineWithOptions(name, runs, cfg, MineOptions{})
+}
+
+// MineWithOptions is Mine with explicit algorithm variants.
+func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions) (*Automaton, error) {
+	cfg = cfg.withDefaults()
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("taskmine: no runs for task %q", name)
+	}
+
+	// (1) Common flows: templates present in every run (S(T) of §III-D).
+	common := commonFlows(runs)
+	if len(common) == 0 {
+		return nil, fmt.Errorf("taskmine: task %q has no flows common to all runs", name)
+	}
+
+	// (2) Filter runs down to common flows (T'_i).
+	filtered := make([][]Template, 0, len(runs))
+	for _, run := range runs {
+		var f []Template
+		for _, t := range run {
+			if common[t.String()] {
+				f = append(f, t)
+			}
+		}
+		if len(f) > 0 {
+			filtered = append(filtered, f)
+		}
+	}
+	if len(filtered) == 0 {
+		return nil, fmt.Errorf("taskmine: task %q has no usable runs after filtering", name)
+	}
+
+	// (3) Frequent contiguous patterns with apriori extension and closed
+	// pruning.
+	patterns := frequentPatterns(filtered, cfg.MinSupport)
+	states := patterns
+	if !opt.DisableClosedPruning {
+		states = closedPrune(patterns)
+	}
+	// Keep every length-1 pattern available as a fallback so greedy
+	// segmentation is total; pruned singles are only used when no longer
+	// state fits.
+	states = ensureSingles(states, patterns)
+
+	a := &Automaton{
+		Name:        name,
+		States:      states,
+		start:       make(map[int]bool),
+		final:       make(map[int]bool),
+		transitions: make(map[int]map[int]bool),
+		cfg:         cfg,
+	}
+	// (4) Segment every run with the state inventory and record the
+	// transition structure.
+	for _, run := range filtered {
+		chunks, err := a.segment(run)
+		if err != nil {
+			return nil, fmt.Errorf("taskmine: segmenting run for %q: %w", name, err)
+		}
+		a.start[chunks[0]] = true
+		a.final[chunks[len(chunks)-1]] = true
+		for i := 0; i+1 < len(chunks); i++ {
+			next, ok := a.transitions[chunks[i]]
+			if !ok {
+				next = make(map[int]bool)
+				a.transitions[chunks[i]] = next
+			}
+			next[chunks[i+1]] = true
+		}
+	}
+	return a, nil
+}
+
+func commonFlows(runs [][]Template) map[string]bool {
+	counts := make(map[string]int)
+	for _, run := range runs {
+		seen := make(map[string]bool)
+		for _, t := range run {
+			k := t.String()
+			if !seen[k] {
+				seen[k] = true
+				counts[k]++
+			}
+		}
+	}
+	common := make(map[string]bool)
+	for k, c := range counts {
+		if c == len(runs) {
+			common[k] = true
+		}
+	}
+	return common
+}
+
+// frequentPatterns mines contiguous sub-sequences whose support (fraction
+// of runs containing them) is at least minSup, growing length-wise with
+// apriori pruning (a pattern can only be frequent if its length-(L-1)
+// prefix and suffix are).
+func frequentPatterns(runs [][]Template, minSup float64) []Pattern {
+	n := float64(len(runs))
+	var out []Pattern
+
+	freqAt := make(map[string]bool) // keys of frequent patterns at current length
+	for length := 1; ; length++ {
+		counts := make(map[string]int)
+		seqs := make(map[string][]Template)
+		for _, run := range runs {
+			seen := make(map[string]bool)
+			for i := 0; i+length <= len(run); i++ {
+				sub := run[i : i+length]
+				if length > 1 {
+					// Apriori: prefix and suffix must be frequent at L-1.
+					if !freqAt[patternKey(sub[:length-1])] || !freqAt[patternKey(sub[1:])] {
+						continue
+					}
+				}
+				k := patternKey(sub)
+				if !seen[k] {
+					seen[k] = true
+					counts[k]++
+					if _, ok := seqs[k]; !ok {
+						seqs[k] = append([]Template(nil), sub...)
+					}
+				}
+			}
+		}
+		next := make(map[string]bool)
+		found := false
+		for k, c := range counts {
+			sup := float64(c) / n
+			if sup+1e-12 >= minSup {
+				out = append(out, Pattern{Seq: seqs[k], Support: sup})
+				next[k] = true
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		freqAt = next
+	}
+	return out
+}
+
+func patternKey(seq []Template) string {
+	var sb strings.Builder
+	for _, t := range seq {
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+// closedPrune removes patterns that are contiguous sub-sequences of a
+// longer pattern with the same support (§III-D: closed frequent
+// patterns).
+func closedPrune(patterns []Pattern) []Pattern {
+	var out []Pattern
+	for _, p := range patterns {
+		pruned := false
+		for _, q := range patterns {
+			if len(q.Seq) <= len(p.Seq) {
+				continue
+			}
+			if q.Support == p.Support && containsSub(q.Seq, p.Seq) {
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsSub(hay, needle []Template) bool {
+	if len(needle) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ensureSingles re-adds pruned length-1 patterns as fallback states.
+func ensureSingles(states, all []Pattern) []Pattern {
+	have := make(map[string]bool)
+	for _, s := range states {
+		if len(s.Seq) == 1 {
+			have[s.key()] = true
+		}
+	}
+	out := append([]Pattern(nil), states...)
+	for _, p := range all {
+		if len(p.Seq) == 1 && !have[p.key()] {
+			p.fallback = true
+			out = append(out, p)
+			have[p.key()] = true
+		}
+	}
+	// Deterministic state order: longer first, then higher support, then
+	// key; segmentation and matching iterate in this order.
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Seq) != len(out[j].Seq) {
+			return len(out[i].Seq) > len(out[j].Seq)
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+// segment greedily covers a run with states: longest state first, ties by
+// support (the two rules of §III-D step 3).
+func (a *Automaton) segment(run []Template) ([]int, error) {
+	var chunks []int
+	pos := 0
+	for pos < len(run) {
+		matched := -1
+		for si, st := range a.States {
+			if pos+len(st.Seq) > len(run) {
+				continue
+			}
+			ok := true
+			for j, t := range st.Seq {
+				if run[pos+j] != t {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = si
+				break // states are sorted longest/most-frequent first
+			}
+		}
+		if matched < 0 {
+			return nil, fmt.Errorf("no state matches at position %d (%v)", pos, run[pos])
+		}
+		chunks = append(chunks, matched)
+		pos += len(a.States[matched].Seq)
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("empty segmentation")
+	}
+	return chunks, nil
+}

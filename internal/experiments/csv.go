@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteSeriesCSV writes one or more series sharing an x-axis as CSV with
+// a header row ("x", label...).
+func WriteSeriesCSV(w io.Writer, xName string, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{xName}, labelsOf(series)...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing csv header: %w", err)
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		x := ""
+		for _, s := range series {
+			if i < len(s.X) {
+				x = formatFloat(s.X[i])
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, formatFloat(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: flushing csv: %w", err)
+	}
+	return nil
+}
+
+func labelsOf(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', 8, 64)
+}
+
+// ExportCSV writes every figure's plottable series into dir, one file per
+// panel, and returns the files written. It is the data behind the plots:
+// fig9a/fig9b CDFs, fig10 histograms, fig11b per-interval PC, fig13a
+// PacketIn rates, and fig13b processing times.
+func ExportCSV(dir string, seed int64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	var written []string
+	save := func(name, xName string, series []Series) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := WriteSeriesCSV(f, xName, series); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	fig9, err := Fig9(seed)
+	if err != nil {
+		return written, err
+	}
+	if err := save("fig9a_bytes_cdf.csv", "bytes", fig9.ByteCDF); err != nil {
+		return written, err
+	}
+	if err := save("fig9b_delay_cdf.csv", "ms", fig9.DelayCDF); err != nil {
+		return written, err
+	}
+
+	fig10, err := Fig10(seed, 0)
+	if err != nil {
+		return written, err
+	}
+	var hists []Series
+	for _, p := range fig10.Panels {
+		hists = append(hists, p.Hist)
+	}
+	if err := save("fig10_dd_hist.csv", "ms", hists); err != nil {
+		return written, err
+	}
+
+	fig11b, err := Fig11b(seed, 0)
+	if err != nil {
+		return written, err
+	}
+	if err := save("fig11b_pc_intervals.csv", "interval", fig11b.Series); err != nil {
+		return written, err
+	}
+
+	fig13, err := Fig13(seed, Fig13Config{Capture: 60 * time.Second, Repetitions: 5})
+	if err != nil {
+		return written, err
+	}
+	if err := save("fig13a_packetin_rate.csv", "second", fig13.RateSeries); err != nil {
+		return written, err
+	}
+	proc := fig13.Processing
+	std := Series{Label: "stddev", X: proc.X, Y: fig13.ProcessingStd}
+	if err := save("fig13b_processing.csv", "apps", []Series{proc, std}); err != nil {
+		return written, err
+	}
+	return written, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/core/signature"
+	"flowdiff/internal/workload"
+)
+
+// Fig10Setting is one P(x,y)/R(m,n) panel of Figure 10.
+type Fig10Setting struct {
+	Label  string
+	Params workload.Case5Params
+}
+
+// DefaultFig10Settings mirrors the paper's six panels.
+func DefaultFig10Settings() []Fig10Setting {
+	return []Fig10Setting{
+		{"P(500,500) R(0,0)", workload.Case5Params{MeanA: 500, MeanB: 500}},
+		{"P(500,100) R(0,20)", workload.Case5Params{MeanA: 500, MeanB: 100, ReuseB: 0.2}},
+		{"P(500,100) R(0,50)", workload.Case5Params{MeanA: 500, MeanB: 100, ReuseB: 0.5}},
+		{"P(100,500) R(0,90)", workload.Case5Params{MeanA: 100, MeanB: 500, ReuseB: 0.9}},
+		{"P(100,500) R(50,50)", workload.Case5Params{MeanA: 100, MeanB: 500, ReuseA: 0.5, ReuseB: 0.5}},
+		{"P(100,500) R(90,10)", workload.Case5Params{MeanA: 100, MeanB: 500, ReuseA: 0.9, ReuseB: 0.1}},
+	}
+}
+
+// Fig10Panel is the delay histogram of one setting.
+type Fig10Panel struct {
+	Setting Fig10Setting
+	// Hist is the DD histogram between S2-S3 and S3-S8 (20 ms bins).
+	Hist Series
+	// Peak is the dominant peak's bucket center.
+	Peak time.Duration
+	// Samples counts delay observations.
+	Samples int
+}
+
+// Fig10Result reproduces Figure 10: the DD peak between S2-S3 and S3-S8
+// persists within [40, 60] ms across workloads and connection-reuse
+// ratios (ground truth: 60 ms app processing).
+type Fig10Result struct {
+	Panels []Fig10Panel
+}
+
+// Fig10 runs all settings.
+func Fig10(seed int64, dur time.Duration) (*Fig10Result, error) {
+	if dur == 0 {
+		dur = 3 * time.Minute
+	}
+	pair := signature.EdgePair{
+		In:  signature.Edge{Src: "S2", Dst: "S3"},
+		Out: signature.Edge{Src: "S3", Dst: "S8"},
+	}
+	res := &Fig10Result{}
+	for i, setting := range DefaultFig10Settings() {
+		p := setting.Params
+		p.Duration = dur
+		sc, err := flowdiff.RunScenario(flowdiff.Scenario{
+			Seed:        seed + int64(i)*31,
+			Case5:       &p,
+			BaselineDur: dur,
+			FaultDur:    time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 %q: %w", setting.Label, err)
+		}
+		sigs, err := flowdiff.BuildSignatures(sc.L1, sc.Options())
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig10Panel{Setting: setting}
+		for _, app := range sigs.Apps {
+			dd, ok := app.DD[pair]
+			if !ok {
+				continue
+			}
+			panel.Samples = dd.Samples
+			panel.Peak = time.Duration(dd.Peak.Value)
+			panel.Hist = Series{Label: setting.Label}
+			for b, c := range dd.Histogram.Counts {
+				panel.Hist.X = append(panel.Hist.X, dd.Histogram.BucketCenter(b)/float64(time.Millisecond))
+				panel.Hist.Y = append(panel.Hist.Y, float64(c))
+			}
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// String renders the panels with their peaks.
+func (r *Fig10Result) String() string {
+	out := "FIGURE 10: DD robustness between S2-S3 and S3-S8 (20 ms bins; ground truth 60 ms)\n"
+	for _, p := range r.Panels {
+		out += fmt.Sprintf("  %-22s peak=%-8v samples=%d\n", p.Setting.Label, p.Peak, p.Samples)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/core/signature"
+	"flowdiff/internal/faults"
+	"flowdiff/internal/stats"
+	"flowdiff/internal/workload"
+)
+
+// Fig9Result reproduces Figure 9: packet loss inflates per-flow byte
+// counts (a), and both loss and server-side logging fatten the delay
+// distribution between incoming and outgoing flows at the app server (b).
+type Fig9Result struct {
+	// ByteCDF holds the "vanilla" and "loss" byte-count CDFs (Fig 9a).
+	ByteCDF []Series
+	// DelayCDF holds "vanilla", "logging", and "loss" delay CDFs (Fig 9b).
+	DelayCDF []Series
+	// Medians for quick shape checks.
+	MedianBytes map[string]float64
+	MedianDelay map[string]time.Duration
+	// MeanBytes tracks distribution means (loss shifts the mean even when
+	// the median flow sees no loss).
+	MeanBytes map[string]float64
+}
+
+// fig9Setting runs one variant and extracts byte samples on the web->app
+// edge and DD delays at the app server.
+func fig9Setting(seed int64, fault []faults.Injector) (bytes []float64, delays []float64, err error) {
+	// 60 KB requests (~40 packets) make per-flow retransmission inflation
+	// clearly visible in the byte-count distribution, as in the paper's
+	// testbed workload.
+	params := workload.Case5Params{MeanA: 400, MeanB: 400, RequestBytes: 60 << 10}
+	sc, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:   seed,
+		Case5:  &params,
+		Faults: fault,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := sc.Options()
+	cur, err := flowdiff.BuildSignatures(sc.L2, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, app := range cur.Apps {
+		if !app.Group.Contains("S3") {
+			continue
+		}
+		for _, e := range []signature.Edge{
+			{Src: "S1", Dst: "S3"}, {Src: "S2", Dst: "S3"},
+		} {
+			bytes = append(bytes, app.FS[e].BytesSamples...)
+		}
+		for p, dd := range app.DD {
+			if p.In.Dst == "S3" && p.Out.Src == "S3" {
+				delays = append(delays, histogramSamples(dd)...)
+			}
+		}
+	}
+	sort.Float64s(bytes)
+	sort.Float64s(delays)
+	return bytes, delays, nil
+}
+
+// histogramSamples reconstructs approximate raw samples from a histogram
+// (bucket centers repeated by count) — sufficient for CDF shape plots.
+func histogramSamples(dd signature.DDSig) []float64 {
+	var out []float64
+	for i, c := range dd.Histogram.Counts {
+		center := dd.Histogram.BucketCenter(i)
+		for j := 0; j < c; j++ {
+			out = append(out, center)
+		}
+	}
+	return out
+}
+
+func cdfSeries(label string, samples []float64, scale float64) Series {
+	pts := stats.CDF(samples)
+	s := Series{Label: label}
+	for _, p := range pts {
+		s.X = append(s.X, p.X/scale)
+		s.Y = append(s.Y, p.Fraction)
+	}
+	return s
+}
+
+// Fig9 regenerates both panels.
+func Fig9(seed int64) (*Fig9Result, error) {
+	vanBytes, vanDelays, err := fig9Setting(seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig9 vanilla: %w", err)
+	}
+	lossBytes, lossDelays, err := fig9Setting(seed, []faults.Injector{
+		faults.PathLoss{From: "S1", To: "S3", Prob: 0.05},
+		faults.PathLoss{From: "S2", To: "S3", Prob: 0.05},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig9 loss: %w", err)
+	}
+	_, logDelays, err := fig9Setting(seed, []faults.Injector{
+		faults.EnableLogging{Host: "S3", Overhead: 60 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig9 logging: %w", err)
+	}
+
+	res := &Fig9Result{
+		ByteCDF: []Series{
+			cdfSeries("vanilla", vanBytes, 1),
+			cdfSeries("loss", lossBytes, 1),
+		},
+		DelayCDF: []Series{
+			cdfSeries("vanilla", vanDelays, float64(time.Millisecond)),
+			cdfSeries("logging", logDelays, float64(time.Millisecond)),
+			cdfSeries("loss", lossDelays, float64(time.Millisecond)),
+		},
+		MedianBytes: map[string]float64{},
+		MedianDelay: map[string]time.Duration{},
+		MeanBytes:   map[string]float64{},
+	}
+	med := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		v, _ := stats.Percentile(xs, 0.5)
+		return v
+	}
+	res.MedianBytes["vanilla"] = med(vanBytes)
+	res.MedianBytes["loss"] = med(lossBytes)
+	res.MeanBytes["vanilla"] = stats.Summarize(vanBytes).Mean
+	res.MeanBytes["loss"] = stats.Summarize(lossBytes).Mean
+	res.MedianDelay["vanilla"] = time.Duration(med(vanDelays))
+	res.MedianDelay["logging"] = time.Duration(med(logDelays))
+	res.MedianDelay["loss"] = time.Duration(med(lossDelays))
+	return res, nil
+}
+
+// String renders both panels as aligned CDF tables.
+func (r *Fig9Result) String() string {
+	out := "FIGURE 9a: CDF of per-flow byte count (web->app edges)\n"
+	for _, s := range r.ByteCDF {
+		out += renderCDF(s, "bytes")
+	}
+	out += "\nFIGURE 9b: CDF of in->out delay at the app server (ms)\n"
+	for _, s := range r.DelayCDF {
+		out += renderCDF(s, "ms")
+	}
+	out += fmt.Sprintf("\nmedians: bytes vanilla=%.0f loss=%.0f | delay vanilla=%v logging=%v loss=%v\n",
+		r.MedianBytes["vanilla"], r.MedianBytes["loss"],
+		r.MedianDelay["vanilla"], r.MedianDelay["logging"], r.MedianDelay["loss"])
+	return out
+}
+
+func renderCDF(s Series, unit string) string {
+	out := fmt.Sprintf("  %s:\n", s.Label)
+	// Print deciles for readability.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := valueAtFraction(s, q)
+		out += fmt.Sprintf("    p%02.0f = %10.1f %s\n", q*100, x, unit)
+	}
+	return out
+}
+
+func valueAtFraction(s Series, q float64) float64 {
+	for i, f := range s.Y {
+		if f >= q {
+			return s.X[i]
+		}
+	}
+	if len(s.X) > 0 {
+		return s.X[len(s.X)-1]
+	}
+	return 0
+}

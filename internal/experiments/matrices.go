@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/core/diagnose"
+	"flowdiff/internal/faults"
+)
+
+// MatrixResult reproduces Figure 8: the dependency matrices observed for
+// congestion and switch failure, plus the signature-impact table of
+// Figure 2b as implemented by the classifier.
+type MatrixResult struct {
+	Congestion    diagnose.Matrix
+	SwitchFailure diagnose.Matrix
+}
+
+// Matrices runs the two scenarios of Figure 8 and captures their
+// dependency matrices.
+func Matrices(seed int64) (*MatrixResult, error) {
+	run := func(f faults.Injector, s int64) (diagnose.Matrix, error) {
+		sc, err := flowdiff.RunScenario(flowdiff.Scenario{Seed: s, Faults: []faults.Injector{f}})
+		if err != nil {
+			return diagnose.Matrix{}, err
+		}
+		opts := sc.Options()
+		base, err := flowdiff.BuildSignatures(sc.L1, opts)
+		if err != nil {
+			return diagnose.Matrix{}, err
+		}
+		cur, err := flowdiff.BuildSignatures(sc.L2, opts)
+		if err != nil {
+			return diagnose.Matrix{}, err
+		}
+		report := flowdiff.Diagnose(flowdiff.Diff(base, cur, flowdiff.Thresholds{}), nil, opts)
+		return report.Matrix, nil
+	}
+	congestion, err := run(faults.BackgroundTraffic{
+		From: "S24", To: "S4", Flows: 60, FlowBytes: 20 << 20,
+		Interval: 250 * time.Millisecond, QueueDelay: 25 * time.Millisecond,
+	}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: congestion matrix: %w", err)
+	}
+	swFail, err := run(faults.SwitchFailure{Switch: "sw2"}, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: switch-failure matrix: %w", err)
+	}
+	return &MatrixResult{Congestion: congestion, SwitchFailure: swFail}, nil
+}
+
+// String renders both matrices and the Figure 2b impact table.
+func (r *MatrixResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 8a: dependency matrix under congestion\n")
+	sb.WriteString(r.Congestion.String())
+	sb.WriteString("\nFIGURE 8b: dependency matrix under switch failure\n")
+	sb.WriteString(r.SwitchFailure.String())
+	sb.WriteString("\nFIGURE 2b: problem classes and their expected signature impact\n")
+	sb.WriteString(ImpactTable())
+	return sb.String()
+}
+
+// ImpactTable renders the classifier's problem-class patterns (the
+// reproduction of Figure 2b).
+func ImpactTable() string {
+	problems := []diagnose.Problem{
+		diagnose.HostFailure, diagnose.HostPerformance,
+		diagnose.AppFailure, diagnose.AppPerformance,
+		diagnose.NetworkDisconnect, diagnose.NetworkBottleneck,
+		diagnose.SwitchMisconfig, diagnose.SwitchOverhead,
+		diagnose.ControllerOverhead, diagnose.SwitchFailure,
+		diagnose.ControllerFailure, diagnose.UnauthorizedAccess,
+	}
+	var sb strings.Builder
+	for _, p := range problems {
+		kinds := diagnose.PatternOf(p)
+		ks := make([]string, len(kinds))
+		for i, k := range kinds {
+			ks[i] = string(k)
+		}
+		fmt.Fprintf(&sb, "  %-32s %s\n", p, strings.Join(ks, " "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,326 @@
+// Package faults injects the operational problems of the paper's Table I
+// (and §V-A) into a running simulation: server-side overheads
+// (misconfigured logging, CPU hogs), network loss and congestion,
+// application crashes, host/switch shutdowns, firewall blocks, controller
+// overload, and unauthorized access. Each injector perturbs exactly the
+// observable the corresponding real fault perturbs, so FlowDiff's
+// signatures react the way the paper reports.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/topology"
+	"flowdiff/internal/workload"
+)
+
+// Injector applies one fault to a running network/workload.
+type Injector interface {
+	// Name identifies the fault (Table I row).
+	Name() string
+	// Apply injects the fault.
+	Apply(n *simnet.Network, apps []*workload.App) error
+}
+
+// EnableLogging emulates Table I #1: misconfigured "INFO" logging on an
+// application server inflates its request processing time, shifting the
+// delay distribution.
+type EnableLogging struct {
+	Host     topology.NodeID
+	Overhead time.Duration // default 40 ms
+}
+
+// Name implements Injector.
+func (f EnableLogging) Name() string { return "misconfigured INFO logging" }
+
+// Apply implements Injector.
+func (f EnableLogging) Apply(_ *simnet.Network, apps []*workload.App) error {
+	d := f.Overhead
+	if d == 0 {
+		d = 40 * time.Millisecond
+	}
+	for _, a := range apps {
+		a.SetOverhead(f.Host, d)
+	}
+	return nil
+}
+
+// LinkLoss emulates Table I #2: packet loss (tc netem) on the links
+// between two nodes, inflating byte counts (retransmissions) and delays.
+type LinkLoss struct {
+	A, B topology.NodeID
+	Prob float64 // default 0.01
+}
+
+// Name implements Injector.
+func (f LinkLoss) Name() string { return "packet loss on link" }
+
+// Apply implements Injector.
+func (f LinkLoss) Apply(n *simnet.Network, _ []*workload.App) error {
+	p := f.Prob
+	if p == 0 {
+		p = 0.01
+	}
+	l, ok := n.Topo.LinkBetween(f.A, f.B)
+	if !ok {
+		return fmt.Errorf("faults: no link %s-%s", f.A, f.B)
+	}
+	l.LossProb = p
+	return nil
+}
+
+// PathLoss applies loss on every link of the path between two hosts
+// (matching the paper's "1% loss on both links connecting the web and
+// application server").
+type PathLoss struct {
+	From, To topology.NodeID
+	Prob     float64
+}
+
+// Name implements Injector.
+func (f PathLoss) Name() string { return "packet loss on path" }
+
+// Apply implements Injector.
+func (f PathLoss) Apply(n *simnet.Network, _ []*workload.App) error {
+	p := f.Prob
+	if p == 0 {
+		p = 0.01
+	}
+	hops, err := n.Topo.Path(f.From, f.To)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	for i := 1; i < len(hops); i++ {
+		l, ok := n.Topo.LinkBetween(hops[i-1].Node, hops[i].Node)
+		if !ok {
+			return fmt.Errorf("faults: missing link %s-%s", hops[i-1].Node, hops[i].Node)
+		}
+		l.LossProb = p
+	}
+	return nil
+}
+
+// CPUHog emulates Table I #3: a background process steals CPU on a host,
+// inflating processing time.
+type CPUHog struct {
+	Host     topology.NodeID
+	Overhead time.Duration // default 50 ms
+}
+
+// Name implements Injector.
+func (f CPUHog) Name() string { return "high CPU background process" }
+
+// Apply implements Injector.
+func (f CPUHog) Apply(_ *simnet.Network, apps []*workload.App) error {
+	d := f.Overhead
+	if d == 0 {
+		d = 50 * time.Millisecond
+	}
+	for _, a := range apps {
+		a.SetOverhead(f.Host, d)
+	}
+	return nil
+}
+
+// AppCrash emulates Table I #4: the application process on a host dies;
+// the host remains reachable but stops producing dependent flows.
+type AppCrash struct {
+	Host topology.NodeID
+}
+
+// Name implements Injector.
+func (f AppCrash) Name() string { return "application crash" }
+
+// Apply implements Injector.
+func (f AppCrash) Apply(_ *simnet.Network, apps []*workload.App) error {
+	for _, a := range apps {
+		a.Crash(f.Host)
+	}
+	return nil
+}
+
+// HostShutdown emulates Table I #5: the host (or VM) goes down entirely.
+type HostShutdown struct {
+	Host topology.NodeID
+}
+
+// Name implements Injector.
+func (f HostShutdown) Name() string { return "host/VM shutdown" }
+
+// Apply implements Injector.
+func (f HostShutdown) Apply(n *simnet.Network, _ []*workload.App) error {
+	node, ok := n.Topo.Node(f.Host)
+	if !ok {
+		return fmt.Errorf("faults: unknown host %s", f.Host)
+	}
+	node.Down = true
+	n.InvalidateRoutes()
+	return nil
+}
+
+// FirewallBlock emulates Table I #6: an egress firewall rule blocks
+// connections to (host, port).
+type FirewallBlock struct {
+	Host topology.NodeID
+	Port uint16
+}
+
+// Name implements Injector.
+func (f FirewallBlock) Name() string { return "firewall port block" }
+
+// Apply implements Injector.
+func (f FirewallBlock) Apply(_ *simnet.Network, apps []*workload.App) error {
+	for _, a := range apps {
+		a.BlockPort(f.Host, f.Port)
+	}
+	return nil
+}
+
+// BackgroundTraffic emulates Table I #7: an Iperf-style bulk transfer
+// between two hosts congests the shared path — extra flows plus queueing
+// delay on every traversed link.
+type BackgroundTraffic struct {
+	From, To topology.NodeID
+	// Flows is how many bulk flows to start (default 20).
+	Flows int
+	// FlowBytes is the size of each flow (default 10 MB).
+	FlowBytes uint64
+	// Interval separates flow starts (default 500 ms).
+	Interval time.Duration
+	// QueueDelay is added to each traversed link's latency (default 2 ms).
+	QueueDelay time.Duration
+}
+
+// Name implements Injector.
+func (f BackgroundTraffic) Name() string { return "iperf background traffic" }
+
+// Apply implements Injector.
+func (f BackgroundTraffic) Apply(n *simnet.Network, _ []*workload.App) error {
+	flows := f.Flows
+	if flows == 0 {
+		flows = 20
+	}
+	bytes := f.FlowBytes
+	if bytes == 0 {
+		bytes = 10 << 20
+	}
+	interval := f.Interval
+	if interval == 0 {
+		interval = 500 * time.Millisecond
+	}
+	qd := f.QueueDelay
+	if qd == 0 {
+		qd = 2 * time.Millisecond
+	}
+	src, ok := n.Topo.Node(f.From)
+	if !ok {
+		return fmt.Errorf("faults: unknown host %s", f.From)
+	}
+	dst, ok := n.Topo.Node(f.To)
+	if !ok {
+		return fmt.Errorf("faults: unknown host %s", f.To)
+	}
+	hops, err := n.Topo.Path(f.From, f.To)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	for i := 1; i < len(hops); i++ {
+		if l, ok := n.Topo.LinkBetween(hops[i-1].Node, hops[i].Node); ok {
+			l.Latency += qd
+		}
+	}
+	start := n.Eng.Now()
+	for i := 0; i < flows; i++ {
+		key := flowlog.FlowKey{
+			Proto: 6, Src: src.Addr, Dst: dst.Addr,
+			SrcPort: uint16(5001 + i), DstPort: 5001,
+		}
+		n.StartFlow(start+time.Duration(i)*interval, simnet.Flow{Key: key, Bytes: bytes})
+	}
+	return nil
+}
+
+// SwitchFailure kills a switch outright.
+type SwitchFailure struct {
+	Switch topology.NodeID
+}
+
+// Name implements Injector.
+func (f SwitchFailure) Name() string { return "switch failure" }
+
+// Apply implements Injector.
+func (f SwitchFailure) Apply(n *simnet.Network, _ []*workload.App) error {
+	node, ok := n.Topo.Node(f.Switch)
+	if !ok {
+		return fmt.Errorf("faults: unknown switch %s", f.Switch)
+	}
+	node.Down = true
+	if sw, ok := n.Switch(f.Switch); ok {
+		sw.Down = true
+	}
+	// Neighboring switches detect the dead links and report PORT_STATUS,
+	// as real OpenFlow switches do.
+	for _, l := range n.Topo.LinksAt(f.Switch) {
+		peer, _ := l.Other(f.Switch)
+		n.ReportPortStatus(peer, l.PortAt(peer), 2 /* OFPPR_MODIFY: link down */)
+	}
+	n.InvalidateRoutes()
+	return nil
+}
+
+// ControllerOverload inflates the controller's per-message service time.
+type ControllerOverload struct {
+	ServiceTime time.Duration // default 20 ms
+}
+
+// Name implements Injector.
+func (f ControllerOverload) Name() string { return "controller overload" }
+
+// Apply implements Injector.
+func (f ControllerOverload) Apply(n *simnet.Network, _ []*workload.App) error {
+	d := f.ServiceTime
+	if d == 0 {
+		d = 20 * time.Millisecond
+	}
+	n.SetControllerService(d)
+	return nil
+}
+
+// UnauthorizedAccess starts flows from an attacker host toward a victim
+// service it never normally talks to.
+type UnauthorizedAccess struct {
+	Attacker, Victim topology.NodeID
+	Port             uint16
+	Flows            int // default 10
+}
+
+// Name implements Injector.
+func (f UnauthorizedAccess) Name() string { return "unauthorized access" }
+
+// Apply implements Injector.
+func (f UnauthorizedAccess) Apply(n *simnet.Network, _ []*workload.App) error {
+	flows := f.Flows
+	if flows == 0 {
+		flows = 10
+	}
+	a, ok := n.Topo.Node(f.Attacker)
+	if !ok {
+		return fmt.Errorf("faults: unknown host %s", f.Attacker)
+	}
+	v, ok := n.Topo.Node(f.Victim)
+	if !ok {
+		return fmt.Errorf("faults: unknown host %s", f.Victim)
+	}
+	start := n.Eng.Now()
+	for i := 0; i < flows; i++ {
+		key := flowlog.FlowKey{
+			Proto: 6, Src: a.Addr, Dst: v.Addr,
+			SrcPort: uint16(46000 + i), DstPort: f.Port,
+		}
+		n.StartFlow(start+time.Duration(i)*300*time.Millisecond, simnet.Flow{Key: key, Bytes: 4096})
+	}
+	return nil
+}

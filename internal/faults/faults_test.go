@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/topology"
+	"flowdiff/internal/workload"
+)
+
+func labSetup(t *testing.T) (*simnet.Network, []*workload.App) {
+	t.Helper()
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := simnet.NewNetwork(topo, simnet.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apps []*workload.App
+	for i, spec := range workload.Case5Specs(workload.Case5Params{MeanA: 100, MeanB: 100, Duration: time.Minute}) {
+		app, err := workload.Attach(n, spec, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	return n, apps
+}
+
+func TestInjectorNames(t *testing.T) {
+	injs := []Injector{
+		EnableLogging{}, LinkLoss{}, PathLoss{}, CPUHog{}, AppCrash{},
+		HostShutdown{}, FirewallBlock{}, BackgroundTraffic{},
+		SwitchFailure{}, ControllerOverload{}, UnauthorizedAccess{},
+	}
+	seen := make(map[string]bool)
+	for _, in := range injs {
+		name := in.Name()
+		if name == "" {
+			t.Errorf("%T has empty name", in)
+		}
+		if seen[name] {
+			t.Errorf("duplicate injector name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestLinkLossAppliesToLink(t *testing.T) {
+	n, apps := labSetup(t)
+	if err := (LinkLoss{A: "sw1", B: "sw2", Prob: 0.03}).Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	l, ok := n.Topo.LinkBetween("sw1", "sw2")
+	if !ok || l.LossProb != 0.03 {
+		t.Errorf("link loss not applied: %+v", l)
+	}
+	if err := (LinkLoss{A: "sw1", B: "nope"}).Apply(n, apps); err == nil {
+		t.Error("want error for missing link")
+	}
+}
+
+func TestPathLossCoversEveryHop(t *testing.T) {
+	n, apps := labSetup(t)
+	if err := (PathLoss{From: "S1", To: "S6", Prob: 0.02}).Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	hops, err := n.Topo.Path("S1", "S6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hops); i++ {
+		l, ok := n.Topo.LinkBetween(hops[i-1].Node, hops[i].Node)
+		if !ok || l.LossProb != 0.02 {
+			t.Errorf("hop %s-%s loss = %v", hops[i-1].Node, hops[i].Node, l.LossProb)
+		}
+	}
+	if err := (PathLoss{From: "S1", To: "nope"}).Apply(n, apps); err == nil {
+		t.Error("want error for unroutable path")
+	}
+}
+
+func TestHostShutdownMarksNodeDown(t *testing.T) {
+	n, apps := labSetup(t)
+	if err := (HostShutdown{Host: "S3"}).Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := n.Topo.Node("S3")
+	if !node.Down {
+		t.Error("host not marked down")
+	}
+	if err := (HostShutdown{Host: "nope"}).Apply(n, apps); err == nil {
+		t.Error("want error for unknown host")
+	}
+}
+
+func TestSwitchFailureKillsDataAndControlPlane(t *testing.T) {
+	n, apps := labSetup(t)
+	if err := (SwitchFailure{Switch: "sw2"}).Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := n.Topo.Node("sw2")
+	if !node.Down {
+		t.Error("switch node not down")
+	}
+	sw, ok := n.Switch("sw2")
+	if !ok || !sw.Down {
+		t.Error("simulated datapath not down")
+	}
+	if err := (SwitchFailure{Switch: "nope"}).Apply(n, apps); err == nil {
+		t.Error("want error for unknown switch")
+	}
+}
+
+func TestControllerOverloadSetsServiceTime(t *testing.T) {
+	n, apps := labSetup(t)
+	if err := (ControllerOverload{ServiceTime: 7 * time.Millisecond}).Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Config().ControllerService; got != 7*time.Millisecond {
+		t.Errorf("service time = %v", got)
+	}
+}
+
+func TestBackgroundTrafficStartsFlowsAndAddsQueueing(t *testing.T) {
+	n, apps := labSetup(t)
+	before, _ := n.Topo.LinkBetween("sw1", "sw6")
+	latBefore := before.Latency
+	bt := BackgroundTraffic{From: "S21", To: "S6", Flows: 5, FlowBytes: 1 << 20, QueueDelay: 3 * time.Millisecond}
+	if err := bt.Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := n.Topo.LinkBetween("sw1", "sw6")
+	if after.Latency != latBefore+3*time.Millisecond {
+		t.Errorf("queue delay not applied: %v -> %v", latBefore, after.Latency)
+	}
+	n.Eng.Run(30 * time.Second)
+	found := 0
+	for _, key := range n.Log().Flows() {
+		if key.DstPort == 5001 {
+			found++
+		}
+	}
+	if found != 5 {
+		t.Errorf("background flows observed = %d, want 5", found)
+	}
+}
+
+func TestUnauthorizedAccessCreatesForeignFlows(t *testing.T) {
+	n, apps := labSetup(t)
+	ua := UnauthorizedAccess{Attacker: "S24", Victim: "S8", Port: 3306, Flows: 4}
+	if err := ua.Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run(10 * time.Second)
+	attacker, _ := n.Topo.Node("S24")
+	found := 0
+	for _, key := range n.Log().Flows() {
+		if key.Src == attacker.Addr && key.DstPort == 3306 {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Errorf("attack flows = %d, want 4", found)
+	}
+}
+
+func TestOverheadInjectorsTargetApps(t *testing.T) {
+	n, apps := labSetup(t)
+	for _, inj := range []Injector{
+		EnableLogging{Host: "S3"},
+		CPUHog{Host: "S3"},
+		AppCrash{Host: "S3"},
+		FirewallBlock{Host: "S8", Port: workload.PortDB},
+	} {
+		if err := inj.Apply(n, apps); err != nil {
+			t.Errorf("%s: %v", inj.Name(), err)
+		}
+	}
+	// Run briefly to ensure nothing panics with all faults stacked.
+	for _, app := range apps {
+		app.Run(0, 5*time.Second)
+	}
+	n.Eng.Run(6 * time.Second)
+	_ = flowlog.EventPacketIn
+}
+
+func TestSwitchFailureEmitsPortStatus(t *testing.T) {
+	n, apps := labSetup(t)
+	if err := (SwitchFailure{Switch: "sw2"}).Apply(n, apps); err != nil {
+		t.Fatal(err)
+	}
+	n.Eng.Run(time.Second)
+	ps := n.Log().ByType(flowlog.EventPortStatus).Events
+	if len(ps) == 0 {
+		t.Fatal("no PORT_STATUS after switch failure")
+	}
+	for _, e := range ps {
+		if e.Switch == "sw2" {
+			t.Error("the dead switch itself cannot report")
+		}
+		if e.InPort == 0 {
+			t.Error("PORT_STATUS missing port number")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Action types (enum ofp_action_type). Only the actions the reproduction
+// needs are implemented; unknown actions are preserved opaquely.
+const (
+	ActionTypeOutput     uint16 = 0
+	ActionTypeSetVLANVID uint16 = 1
+	ActionTypeStripVLAN  uint16 = 3
+	ActionTypeEnqueue    uint16 = 11
+)
+
+// Action is one entry of an OpenFlow action list.
+type Action interface {
+	// ActionType returns the ofp_action_type.
+	ActionType() uint16
+	// actionLen returns the wire length (a multiple of 8).
+	actionLen() int
+	marshalTo(b []byte)
+}
+
+// ActionOutput forwards the packet to a port (possibly a special port such
+// as PortController or PortFlood).
+type ActionOutput struct {
+	Port   uint16
+	MaxLen uint16 // bytes to send to controller when Port == PortController
+}
+
+// ActionType implements Action.
+func (ActionOutput) ActionType() uint16 { return ActionTypeOutput }
+
+func (ActionOutput) actionLen() int { return 8 }
+
+func (a ActionOutput) marshalTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], ActionTypeOutput)
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	binary.BigEndian.PutUint16(b[6:8], a.MaxLen)
+}
+
+// ActionEnqueue forwards the packet to a queue attached to a port.
+type ActionEnqueue struct {
+	Port    uint16
+	QueueID uint32
+}
+
+// ActionType implements Action.
+func (ActionEnqueue) ActionType() uint16 { return ActionTypeEnqueue }
+
+func (ActionEnqueue) actionLen() int { return 16 }
+
+func (a ActionEnqueue) marshalTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], ActionTypeEnqueue)
+	binary.BigEndian.PutUint16(b[2:4], 16)
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	// b[6:12] pad
+	binary.BigEndian.PutUint32(b[12:16], a.QueueID)
+}
+
+// ActionRaw preserves an action this package does not model.
+type ActionRaw struct {
+	Type uint16
+	Body []byte // full wire bytes including the 4-byte action header
+}
+
+// ActionType implements Action.
+func (a ActionRaw) ActionType() uint16 { return a.Type }
+
+func (a ActionRaw) actionLen() int { return len(a.Body) }
+
+func (a ActionRaw) marshalTo(b []byte) { copy(b, a.Body) }
+
+func marshalActions(actions []Action) ([]byte, error) {
+	total := 0
+	for _, a := range actions {
+		l := a.actionLen()
+		if l%8 != 0 || l < 8 {
+			return nil, fmt.Errorf("openflow: action %T has invalid length %d", a, l)
+		}
+		total += l
+	}
+	b := make([]byte, total)
+	off := 0
+	for _, a := range actions {
+		a.marshalTo(b[off:])
+		off += a.actionLen()
+	}
+	return b, nil
+}
+
+func unmarshalActions(b []byte) ([]Action, error) {
+	var actions []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("openflow: truncated action header: %d bytes", len(b))
+		}
+		typ := binary.BigEndian.Uint16(b[0:2])
+		l := int(binary.BigEndian.Uint16(b[2:4]))
+		if l < 8 || l%8 != 0 || l > len(b) {
+			return nil, fmt.Errorf("openflow: invalid action length %d (have %d bytes)", l, len(b))
+		}
+		switch typ {
+		case ActionTypeOutput:
+			actions = append(actions, ActionOutput{
+				Port:   binary.BigEndian.Uint16(b[4:6]),
+				MaxLen: binary.BigEndian.Uint16(b[6:8]),
+			})
+		case ActionTypeEnqueue:
+			if l < 16 {
+				return nil, fmt.Errorf("openflow: ENQUEUE action too short: %d", l)
+			}
+			actions = append(actions, ActionEnqueue{
+				Port:    binary.BigEndian.Uint16(b[4:6]),
+				QueueID: binary.BigEndian.Uint32(b[12:16]),
+			})
+		default:
+			actions = append(actions, ActionRaw{Type: typ, Body: append([]byte(nil), b[:l]...)})
+		}
+		b = b[l:]
+	}
+	return actions, nil
+}

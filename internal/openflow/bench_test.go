@@ -1,0 +1,61 @@
+package openflow
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func benchFlowMod() *FlowMod {
+	src := netip.MustParseAddr("10.0.1.5")
+	dst := netip.MustParseAddr("10.0.2.9")
+	return &FlowMod{
+		XID:         11,
+		Match:       ExactMatch(6, src, dst, 45678, 80),
+		Command:     FlowModAdd,
+		IdleTimeout: 5,
+		HardTimeout: 60,
+		Priority:    100,
+		BufferID:    BufferNone,
+		OutPort:     PortNone,
+		Flags:       FlowModFlagSendFlowRem,
+		Actions:     []Action{ActionOutput{Port: 2, MaxLen: 128}},
+	}
+}
+
+func BenchmarkFlowModEncode(b *testing.B) {
+	m := benchFlowMod()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowModDecode(b *testing.B) {
+	buf, err := benchFlowMod().MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchMatches(b *testing.B) {
+	src := netip.MustParseAddr("10.0.1.5")
+	dst := netip.MustParseAddr("10.0.2.9")
+	entry := HostPairMatch(src, dst)
+	pkt := ExactMatch(6, src, dst, 45678, 80)
+	pkt.Wildcards = 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !entry.Matches(pkt) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package openflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// maxMessageLen bounds accepted message sizes; the OpenFlow length field is
+// 16 bits so this is the protocol maximum.
+const maxMessageLen = 1 << 16
+
+// newMessage returns a zero value of the concrete message type for t.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeError:
+		return &Error{}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{}, nil
+	case TypeEchoReply:
+		return &EchoReply{}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return &FeaturesReply{}, nil
+	case TypePacketIn:
+		return &PacketIn{}, nil
+	case TypeFlowRemoved:
+		return &FlowRemoved{}, nil
+	case TypePortStatus:
+		return &PortStatus{}, nil
+	case TypePacketOut:
+		return &PacketOut{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	case TypeStatsRequest:
+		return &StatsRequest{}, nil
+	case TypeStatsReply:
+		return &StatsReply{}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{}, nil
+	default:
+		return nil, fmt.Errorf("openflow: unsupported message type %v", t)
+	}
+}
+
+// Decode parses a single complete OpenFlow message from b.
+func Decode(b []byte) (Message, error) {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("openflow: unsupported version 0x%02x", h.Version)
+	}
+	if int(h.Length) != len(b) {
+		return nil, fmt.Errorf("openflow: header length %d does not match buffer %d", h.Length, len(b))
+	}
+	msg, err := newMessage(h.Type)
+	if err != nil {
+		return nil, err
+	}
+	if err := msg.UnmarshalBinary(b); err != nil {
+		return nil, fmt.Errorf("openflow: decoding %v: %w", h.Type, err)
+	}
+	return msg, nil
+}
+
+// Reader reads framed OpenFlow messages from an underlying stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r in a message reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ReadMessage reads and decodes the next message. It returns io.EOF when
+// the stream ends cleanly at a message boundary.
+func (r *Reader) ReadMessage() (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("openflow: truncated header: %w", err)
+		}
+		return nil, err
+	}
+	h, err := UnmarshalHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if h.Length < HeaderLen {
+		return nil, fmt.Errorf("openflow: invalid message length %d", h.Length)
+	}
+	buf := make([]byte, h.Length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r.r, buf[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("openflow: truncated %v body: %w", h.Type, err)
+	}
+	return Decode(buf)
+}
+
+// Writer writes framed OpenFlow messages to an underlying stream. It is
+// safe for concurrent use.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter wraps w in a message writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// WriteMessage encodes and writes msg.
+func (w *Writer) WriteMessage(msg Message) error {
+	b, err := msg.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("openflow: encoding %v: %w", msg.MsgType(), err)
+	}
+	if len(b) > maxMessageLen {
+		return fmt.Errorf("openflow: message %v exceeds max length: %d bytes", msg.MsgType(), len(b))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("openflow: writing %v: %w", msg.MsgType(), err)
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package openflow
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	b, err := msg.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal %v: %v", msg.MsgType(), err)
+	}
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if int(h.Length) != len(b) {
+		t.Fatalf("%v: header length %d != wire length %d", msg.MsgType(), h.Length, len(b))
+	}
+	if h.Version != Version {
+		t.Fatalf("%v: version = %#x", msg.MsgType(), h.Version)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %v: %v", msg.MsgType(), err)
+	}
+	return got
+}
+
+func TestRoundTripSimpleMessages(t *testing.T) {
+	msgs := []Message{
+		&Hello{XID: 1},
+		&EchoRequest{XID: 2, Data: []byte("ping")},
+		&EchoReply{XID: 3, Data: []byte("pong")},
+		&EchoRequest{XID: 4},
+		&Error{XID: 5, ErrType: 1, Code: 2, Data: []byte{0xde, 0xad}},
+		&FeaturesRequest{XID: 6},
+		&BarrierRequest{XID: 7},
+		&BarrierReply{XID: 8},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", msg.MsgType(), got, msg)
+		}
+	}
+}
+
+func TestRoundTripFeaturesReply(t *testing.T) {
+	msg := &FeaturesReply{
+		XID:          77,
+		DatapathID:   0x00000000000000ab,
+		NBuffers:     256,
+		NTables:      2,
+		Capabilities: 0xc7,
+		Actions:      0xfff,
+		Ports: []PhyPort{
+			{PortNo: 1, HWAddr: [6]byte{0, 1, 2, 3, 4, 5}, Name: "eth1", State: 1},
+			{PortNo: 2, HWAddr: [6]byte{0, 1, 2, 3, 4, 6}, Name: "eth2"},
+		},
+	}
+	got := roundTrip(t, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("FeaturesReply round trip:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestRoundTripPacketIn(t *testing.T) {
+	msg := &PacketIn{
+		XID:      9,
+		BufferID: BufferNone,
+		TotalLen: 1500,
+		InPort:   3,
+		Reason:   PacketInReasonNoMatch,
+		Data:     []byte{1, 2, 3, 4, 5},
+	}
+	got := roundTrip(t, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("PacketIn round trip:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestRoundTripFlowMod(t *testing.T) {
+	src := netip.MustParseAddr("10.0.1.5")
+	dst := netip.MustParseAddr("10.0.2.9")
+	msg := &FlowMod{
+		XID:         11,
+		Match:       ExactMatch(6, src, dst, 45678, 80),
+		Cookie:      0xdeadbeef,
+		Command:     FlowModAdd,
+		IdleTimeout: 5,
+		HardTimeout: 30,
+		Priority:    100,
+		BufferID:    BufferNone,
+		OutPort:     PortNone,
+		Flags:       FlowModFlagSendFlowRem,
+		Actions:     []Action{ActionOutput{Port: 2, MaxLen: 128}},
+	}
+	got := roundTrip(t, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("FlowMod round trip:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestRoundTripFlowRemoved(t *testing.T) {
+	src := netip.MustParseAddr("10.0.1.5")
+	dst := netip.MustParseAddr("10.0.2.9")
+	msg := &FlowRemoved{
+		XID:          12,
+		Match:        ExactMatch(6, src, dst, 1234, 3306),
+		Cookie:       42,
+		Priority:     10,
+		Reason:       FlowRemovedReasonIdleTimeout,
+		DurationSec:  9,
+		DurationNsec: 500000,
+		IdleTimeout:  5,
+		PacketCount:  1000,
+		ByteCount:    1234567,
+	}
+	got := roundTrip(t, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("FlowRemoved round trip:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestRoundTripPacketOut(t *testing.T) {
+	msg := &PacketOut{
+		XID:      13,
+		BufferID: 99,
+		InPort:   PortNone,
+		Actions:  []Action{ActionOutput{Port: PortFlood, MaxLen: 0}, ActionEnqueue{Port: 4, QueueID: 7}},
+		Data:     []byte{0xaa, 0xbb},
+	}
+	got := roundTrip(t, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("PacketOut round trip:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestRoundTripPortStatus(t *testing.T) {
+	msg := &PortStatus{
+		XID:    14,
+		Reason: PortReasonModify,
+		Desc:   PhyPort{PortNo: 5, Name: "tor-1-p5", State: 1},
+	}
+	got := roundTrip(t, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("PortStatus round trip:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestRoundTripStats(t *testing.T) {
+	src := netip.MustParseAddr("192.168.0.1")
+	dst := netip.MustParseAddr("192.168.0.2")
+	t.Run("flow request", func(t *testing.T) {
+		msg := &StatsRequest{XID: 15, StatsType: StatsTypeFlow, Match: HostPairMatch(src, dst), TableID: 0xff, OutPort: PortNone}
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, msg)
+		}
+	})
+	t.Run("port request", func(t *testing.T) {
+		msg := &StatsRequest{XID: 16, StatsType: StatsTypePort, PortNo: PortNone}
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, msg)
+		}
+	})
+	t.Run("flow reply", func(t *testing.T) {
+		msg := &StatsReply{
+			XID:       17,
+			StatsType: StatsTypeFlow,
+			Flows: []FlowStatsEntry{
+				{TableID: 0, Match: ExactMatch(6, src, dst, 1, 2), DurationSec: 3, Priority: 9, IdleTimeout: 5, HardTimeout: 60, Cookie: 1, PacketCount: 10, ByteCount: 100},
+				{TableID: 1, Match: HostPairMatch(dst, src), PacketCount: 7, ByteCount: 77},
+			},
+		}
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, msg)
+		}
+	})
+	t.Run("port reply", func(t *testing.T) {
+		msg := &StatsReply{
+			XID:       18,
+			StatsType: StatsTypePort,
+			Ports: []PortStatsEntry{
+				{PortNo: 1, RxPackets: 5, TxPackets: 6, RxBytes: 7, TxBytes: 8, RxDropped: 1, TxDropped: 2},
+			},
+		}
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, msg)
+		}
+	})
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := []Message{
+		&Hello{XID: 1},
+		&PacketIn{XID: 2, BufferID: BufferNone, InPort: 1, Data: []byte("x")},
+		&FlowMod{XID: 3, BufferID: BufferNone, OutPort: PortNone, Actions: []Action{ActionOutput{Port: 1}}},
+		&EchoReply{XID: 4, Data: []byte("hello")},
+	}
+	for _, m := range msgs {
+		if err := w.WriteMessage(m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("read message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("message %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Errorf("after stream end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncatedBody(t *testing.T) {
+	m := &PacketIn{XID: 1, Data: []byte("abcdef")}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(b[:len(b)-3]))
+	if _, err := r.ReadMessage(); err == nil {
+		t.Error("want error on truncated body")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	t.Run("short", func(t *testing.T) {
+		if _, err := Decode([]byte{1, 2}); err == nil {
+			t.Error("want error on short buffer")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b, _ := (&Hello{}).MarshalBinary()
+		b[0] = 0x04
+		if _, err := Decode(b); err == nil {
+			t.Error("want error on wrong version")
+		}
+	})
+	t.Run("length mismatch", func(t *testing.T) {
+		b, _ := (&Hello{}).MarshalBinary()
+		b[3] = 200
+		if _, err := Decode(b); err == nil {
+			t.Error("want error on length mismatch")
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		b, _ := (&Hello{}).MarshalBinary()
+		b[1] = 0x77
+		if _, err := Decode(b); err == nil {
+			t.Error("want error on unknown type")
+		}
+	})
+}
+
+func randomMatch(rng *rand.Rand) Match {
+	var m Match
+	m.Wildcards = rng.Uint32() & WildcardAll
+	m.InPort = uint16(rng.Intn(48))
+	rng.Read(m.DLSrc[:])
+	rng.Read(m.DLDst[:])
+	m.DLVLAN = uint16(rng.Intn(4096))
+	m.DLVLANPCP = uint8(rng.Intn(8))
+	m.DLType = 0x0800
+	m.NWTOS = uint8(rng.Intn(256))
+	m.NWProto = uint8(rng.Intn(256))
+	rng.Read(m.NWSrc[:])
+	rng.Read(m.NWDst[:])
+	m.TPSrc = uint16(rng.Intn(65536))
+	m.TPDst = uint16(rng.Intn(65536))
+	return m
+}
+
+func TestMatchRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatch(rng)
+		var b [MatchLen]byte
+		m.marshalTo(b[:])
+		got, err := unmarshalMatch(b[:])
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowModRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &FlowMod{
+			XID:         rng.Uint32(),
+			Match:       randomMatch(rng),
+			Cookie:      rng.Uint64(),
+			Command:     uint16(rng.Intn(5)),
+			IdleTimeout: uint16(rng.Intn(65536)),
+			HardTimeout: uint16(rng.Intn(65536)),
+			Priority:    uint16(rng.Intn(65536)),
+			BufferID:    rng.Uint32(),
+			OutPort:     uint16(rng.Intn(65536)),
+			Flags:       uint16(rng.Intn(8)),
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			m.Actions = append(m.Actions, ActionOutput{Port: uint16(rng.Intn(65536)), MaxLen: uint16(rng.Intn(65536))})
+		}
+		b, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package openflow implements the subset of the OpenFlow 1.0 wire protocol
+// that FlowDiff's measurement plane depends on: the symmetric messages
+// (Hello, Echo, Error), the handshake (FeaturesRequest/Reply), and the
+// asynchronous/controller-command messages that carry flow-level telemetry
+// (PacketIn, PacketOut, FlowMod, FlowRemoved, PortStatus, flow/port stats).
+//
+// All multi-byte fields are big-endian, per the OpenFlow specification.
+// Every message type implements Message: it round-trips through
+// MarshalBinary/UnmarshalBinary, and the framed ReadMessage/WriteMessage
+// pair moves messages over any io.Reader/io.Writer (a TCP control channel
+// in the integration tests, in-memory pipes in the simulator).
+package openflow
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+)
+
+// Version is the OpenFlow protocol version implemented by this package.
+const Version = 0x01
+
+// MsgType identifies an OpenFlow 1.0 message type.
+type MsgType uint8
+
+// OpenFlow 1.0 message types (enum ofp_type).
+const (
+	TypeHello MsgType = iota
+	TypeError
+	TypeEchoRequest
+	TypeEchoReply
+	TypeVendor
+	TypeFeaturesRequest
+	TypeFeaturesReply
+	TypeGetConfigRequest
+	TypeGetConfigReply
+	TypeSetConfig
+	TypePacketIn
+	TypeFlowRemoved
+	TypePortStatus
+	TypePacketOut
+	TypeFlowMod
+	TypePortMod
+	TypeStatsRequest
+	TypeStatsReply
+	TypeBarrierRequest
+	TypeBarrierReply
+)
+
+var msgTypeNames = map[MsgType]string{
+	TypeHello:            "HELLO",
+	TypeError:            "ERROR",
+	TypeEchoRequest:      "ECHO_REQUEST",
+	TypeEchoReply:        "ECHO_REPLY",
+	TypeVendor:           "VENDOR",
+	TypeFeaturesRequest:  "FEATURES_REQUEST",
+	TypeFeaturesReply:    "FEATURES_REPLY",
+	TypeGetConfigRequest: "GET_CONFIG_REQUEST",
+	TypeGetConfigReply:   "GET_CONFIG_REPLY",
+	TypeSetConfig:        "SET_CONFIG",
+	TypePacketIn:         "PACKET_IN",
+	TypeFlowRemoved:      "FLOW_REMOVED",
+	TypePortStatus:       "PORT_STATUS",
+	TypePacketOut:        "PACKET_OUT",
+	TypeFlowMod:          "FLOW_MOD",
+	TypePortMod:          "PORT_MOD",
+	TypeStatsRequest:     "STATS_REQUEST",
+	TypeStatsReply:       "STATS_REPLY",
+	TypeBarrierRequest:   "BARRIER_REQUEST",
+	TypeBarrierReply:     "BARRIER_REPLY",
+}
+
+// String returns the OpenFlow spec name of the message type.
+func (t MsgType) String() string {
+	if n, ok := msgTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// HeaderLen is the length in bytes of the common OpenFlow header.
+const HeaderLen = 8
+
+// Header is the common prefix of every OpenFlow message.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16 // total message length including the header
+	XID     uint32 // transaction id, echoed in replies
+}
+
+func (h Header) marshalTo(b []byte) {
+	b[0] = h.Version
+	b[1] = uint8(h.Type)
+	binary.BigEndian.PutUint16(b[2:4], h.Length)
+	binary.BigEndian.PutUint32(b[4:8], h.XID)
+}
+
+// UnmarshalHeader decodes the 8-byte common header.
+func UnmarshalHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("openflow: header too short: %d bytes", len(b))
+	}
+	return Header{
+		Version: b[0],
+		Type:    MsgType(b[1]),
+		Length:  binary.BigEndian.Uint16(b[2:4]),
+		XID:     binary.BigEndian.Uint32(b[4:8]),
+	}, nil
+}
+
+// Message is implemented by every OpenFlow message in this package.
+type Message interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+	// MsgType returns the ofp_type of the message.
+	MsgType() MsgType
+	// TransactionID returns the header XID.
+	TransactionID() uint32
+}
+
+// Special port numbers (enum ofp_port).
+const (
+	PortMax        uint16 = 0xff00
+	PortInPort     uint16 = 0xfff8
+	PortTable      uint16 = 0xfff9
+	PortNormal     uint16 = 0xfffa
+	PortFlood      uint16 = 0xfffb
+	PortAll        uint16 = 0xfffc
+	PortController uint16 = 0xfffd
+	PortLocal      uint16 = 0xfffe
+	PortNone       uint16 = 0xffff
+)
+
+// BufferNone indicates that a PacketIn/FlowMod carries no buffered packet.
+const BufferNone uint32 = 0xffffffff

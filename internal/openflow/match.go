@@ -1,0 +1,261 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Wildcard bits (enum ofp_flow_wildcards). A set bit means the
+// corresponding match field is ignored.
+const (
+	WildcardInPort  uint32 = 1 << 0
+	WildcardDLVLAN  uint32 = 1 << 1
+	WildcardDLSrc   uint32 = 1 << 2
+	WildcardDLDst   uint32 = 1 << 3
+	WildcardDLType  uint32 = 1 << 4
+	WildcardNWProto uint32 = 1 << 5
+	WildcardTPSrc   uint32 = 1 << 6
+	WildcardTPDst   uint32 = 1 << 7
+
+	// IP source/destination wildcards are 6-bit CIDR-style fields: the
+	// value is the number of least-significant address bits to ignore
+	// (0 = exact, >= 32 = fully wildcarded).
+	wildcardNWSrcShift        = 8
+	wildcardNWSrcMask  uint32 = 0x3f << wildcardNWSrcShift
+	wildcardNWDstShift        = 14
+	wildcardNWDstMask  uint32 = 0x3f << wildcardNWDstShift
+
+	WildcardDLVLANPCP uint32 = 1 << 20
+	WildcardNWTOS     uint32 = 1 << 21
+
+	// WildcardAll has every field wildcarded.
+	WildcardAll uint32 = ((1<<22)-1)&^(wildcardNWSrcMask|wildcardNWDstMask) |
+		(32 << wildcardNWSrcShift) | (32 << wildcardNWDstShift)
+)
+
+// MatchLen is the wire length of ofp_match.
+const MatchLen = 40
+
+// Match is the OpenFlow 1.0 12-tuple flow match (ofp_match).
+type Match struct {
+	Wildcards uint32
+	InPort    uint16
+	DLSrc     [6]byte
+	DLDst     [6]byte
+	DLVLAN    uint16
+	DLVLANPCP uint8
+	DLType    uint16
+	NWTOS     uint8
+	NWProto   uint8
+	NWSrc     [4]byte
+	NWDst     [4]byte
+	TPSrc     uint16
+	TPDst     uint16
+}
+
+// ExactMatch builds a fully specified IPv4 match for the given 5-tuple
+// (the "microflow" entries a reactive controller installs).
+func ExactMatch(proto uint8, src, dst netip.Addr, tpSrc, tpDst uint16) Match {
+	m := Match{
+		DLType:  0x0800, // IPv4
+		NWProto: proto,
+		TPSrc:   tpSrc,
+		TPDst:   tpDst,
+	}
+	m.NWSrc = src.As4()
+	m.NWDst = dst.As4()
+	// Fields we do not match on (L2 addresses, VLAN, TOS, in_port) stay
+	// wildcarded so the entry matches the flow regardless of topology hop.
+	m.Wildcards = WildcardInPort | WildcardDLVLAN | WildcardDLSrc |
+		WildcardDLDst | WildcardDLVLANPCP | WildcardNWTOS
+	return m
+}
+
+// HostPairMatch builds a wildcard match covering all traffic between two
+// IPv4 hosts regardless of transport ports (used by the wildcard
+// deployment mode in §VI).
+func HostPairMatch(src, dst netip.Addr) Match {
+	m := ExactMatch(0, src, dst, 0, 0)
+	m.Wildcards |= WildcardNWProto | WildcardTPSrc | WildcardTPDst
+	return m
+}
+
+// NWSrcBits returns how many low bits of NWSrc are wildcarded (capped at 32).
+func (m Match) NWSrcBits() int {
+	b := int((m.Wildcards & wildcardNWSrcMask) >> wildcardNWSrcShift)
+	if b > 32 {
+		b = 32
+	}
+	return b
+}
+
+// NWDstBits returns how many low bits of NWDst are wildcarded (capped at 32).
+func (m Match) NWDstBits() int {
+	b := int((m.Wildcards & wildcardNWDstMask) >> wildcardNWDstShift)
+	if b > 32 {
+		b = 32
+	}
+	return b
+}
+
+// SetNWSrcBits sets the number of wildcarded low bits in NWSrc.
+func (m *Match) SetNWSrcBits(bits int) {
+	m.Wildcards = (m.Wildcards &^ wildcardNWSrcMask) |
+		(uint32(bits&0x3f) << wildcardNWSrcShift)
+}
+
+// SetNWDstBits sets the number of wildcarded low bits in NWDst.
+func (m *Match) SetNWDstBits(bits int) {
+	m.Wildcards = (m.Wildcards &^ wildcardNWDstMask) |
+		(uint32(bits&0x3f) << wildcardNWDstShift)
+}
+
+func ipMatches(entry, pkt [4]byte, ignoredBits int) bool {
+	if ignoredBits >= 32 {
+		return true
+	}
+	e := binary.BigEndian.Uint32(entry[:])
+	p := binary.BigEndian.Uint32(pkt[:])
+	mask := uint32(0xffffffff) << uint(ignoredBits)
+	return e&mask == p&mask
+}
+
+// Matches reports whether a packet described by the fully specified match
+// pkt (wildcards in pkt are ignored) matches entry m.
+func (m Match) Matches(pkt Match) bool {
+	if m.Wildcards&WildcardInPort == 0 && m.InPort != pkt.InPort {
+		return false
+	}
+	if m.Wildcards&WildcardDLSrc == 0 && m.DLSrc != pkt.DLSrc {
+		return false
+	}
+	if m.Wildcards&WildcardDLDst == 0 && m.DLDst != pkt.DLDst {
+		return false
+	}
+	if m.Wildcards&WildcardDLVLAN == 0 && m.DLVLAN != pkt.DLVLAN {
+		return false
+	}
+	if m.Wildcards&WildcardDLVLANPCP == 0 && m.DLVLANPCP != pkt.DLVLANPCP {
+		return false
+	}
+	if m.Wildcards&WildcardDLType == 0 && m.DLType != pkt.DLType {
+		return false
+	}
+	if m.Wildcards&WildcardNWTOS == 0 && m.NWTOS != pkt.NWTOS {
+		return false
+	}
+	if m.Wildcards&WildcardNWProto == 0 && m.NWProto != pkt.NWProto {
+		return false
+	}
+	if !ipMatches(m.NWSrc, pkt.NWSrc, m.NWSrcBits()) {
+		return false
+	}
+	if !ipMatches(m.NWDst, pkt.NWDst, m.NWDstBits()) {
+		return false
+	}
+	if m.Wildcards&WildcardTPSrc == 0 && m.TPSrc != pkt.TPSrc {
+		return false
+	}
+	if m.Wildcards&WildcardTPDst == 0 && m.TPDst != pkt.TPDst {
+		return false
+	}
+	return true
+}
+
+// IsExact reports whether the match specifies the full IPv4 5-tuple
+// (protocol, addresses, and ports all exact).
+func (m Match) IsExact() bool {
+	return m.Wildcards&(WildcardNWProto|WildcardTPSrc|WildcardTPDst) == 0 &&
+		m.NWSrcBits() == 0 && m.NWDstBits() == 0
+}
+
+func (m Match) marshalTo(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.Wildcards)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	copy(b[6:12], m.DLSrc[:])
+	copy(b[12:18], m.DLDst[:])
+	binary.BigEndian.PutUint16(b[18:20], m.DLVLAN)
+	b[20] = m.DLVLANPCP
+	// b[21] pad
+	binary.BigEndian.PutUint16(b[22:24], m.DLType)
+	b[24] = m.NWTOS
+	b[25] = m.NWProto
+	// b[26:28] pad
+	copy(b[28:32], m.NWSrc[:])
+	copy(b[32:36], m.NWDst[:])
+	binary.BigEndian.PutUint16(b[36:38], m.TPSrc)
+	binary.BigEndian.PutUint16(b[38:40], m.TPDst)
+}
+
+func unmarshalMatch(b []byte) (Match, error) {
+	if len(b) < MatchLen {
+		return Match{}, fmt.Errorf("openflow: match too short: %d bytes", len(b))
+	}
+	var m Match
+	m.Wildcards = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	copy(m.DLSrc[:], b[6:12])
+	copy(m.DLDst[:], b[12:18])
+	m.DLVLAN = binary.BigEndian.Uint16(b[18:20])
+	m.DLVLANPCP = b[20]
+	m.DLType = binary.BigEndian.Uint16(b[22:24])
+	m.NWTOS = b[24]
+	m.NWProto = b[25]
+	copy(m.NWSrc[:], b[28:32])
+	copy(m.NWDst[:], b[32:36])
+	m.TPSrc = binary.BigEndian.Uint16(b[36:38])
+	m.TPDst = binary.BigEndian.Uint16(b[38:40])
+	return m, nil
+}
+
+// MarshalMatchPayload encodes a match as a standalone 40-byte buffer. The
+// simulated switch agents use it as the PacketIn payload in place of a raw
+// Ethernet frame.
+func MarshalMatchPayload(m Match) []byte {
+	b := make([]byte, MatchLen)
+	m.marshalTo(b)
+	return b
+}
+
+// UnmarshalMatchPayload decodes a buffer written by MarshalMatchPayload.
+func UnmarshalMatchPayload(b []byte) (Match, error) {
+	return unmarshalMatch(b)
+}
+
+// String renders the non-wildcarded fields, e.g.
+// "ip proto=6 10.0.0.1:80->10.0.0.2:5000".
+func (m Match) String() string {
+	var sb strings.Builder
+	if m.Wildcards&WildcardDLType == 0 && m.DLType == 0x0800 {
+		sb.WriteString("ip ")
+	}
+	if m.Wildcards&WildcardNWProto == 0 {
+		fmt.Fprintf(&sb, "proto=%d ", m.NWProto)
+	}
+	src := netip.AddrFrom4(m.NWSrc)
+	dst := netip.AddrFrom4(m.NWDst)
+	if m.NWSrcBits() >= 32 {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(src.String())
+	}
+	if m.Wildcards&WildcardTPSrc == 0 {
+		fmt.Fprintf(&sb, ":%d", m.TPSrc)
+	} else {
+		sb.WriteString(":*")
+	}
+	sb.WriteString("->")
+	if m.NWDstBits() >= 32 {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(dst.String())
+	}
+	if m.Wildcards&WildcardTPDst == 0 {
+		fmt.Fprintf(&sb, ":%d", m.TPDst)
+	} else {
+		sb.WriteString(":*")
+	}
+	return sb.String()
+}

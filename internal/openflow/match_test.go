@@ -1,0 +1,145 @@
+package openflow
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.1.0.1")
+	addrB = netip.MustParseAddr("10.1.0.2")
+	addrC = netip.MustParseAddr("10.2.0.3")
+)
+
+func pkt(proto uint8, src, dst netip.Addr, tpSrc, tpDst uint16) Match {
+	m := ExactMatch(proto, src, dst, tpSrc, tpDst)
+	m.Wildcards = 0
+	return m
+}
+
+func TestExactMatchMatchesItself(t *testing.T) {
+	e := ExactMatch(6, addrA, addrB, 1000, 80)
+	if !e.Matches(pkt(6, addrA, addrB, 1000, 80)) {
+		t.Error("exact entry should match the identical packet")
+	}
+	if !e.IsExact() {
+		t.Error("ExactMatch should be exact")
+	}
+}
+
+func TestExactMatchRejectsDifferences(t *testing.T) {
+	e := ExactMatch(6, addrA, addrB, 1000, 80)
+	cases := []struct {
+		name string
+		p    Match
+	}{
+		{"different src addr", pkt(6, addrC, addrB, 1000, 80)},
+		{"different dst addr", pkt(6, addrA, addrC, 1000, 80)},
+		{"different proto", pkt(17, addrA, addrB, 1000, 80)},
+		{"different src port", pkt(6, addrA, addrB, 1001, 80)},
+		{"different dst port", pkt(6, addrA, addrB, 1000, 443)},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if e.Matches(tt.p) {
+				t.Error("exact entry matched a differing packet")
+			}
+		})
+	}
+}
+
+func TestHostPairMatchIgnoresPorts(t *testing.T) {
+	w := HostPairMatch(addrA, addrB)
+	if w.IsExact() {
+		t.Error("HostPairMatch should not be exact")
+	}
+	if !w.Matches(pkt(6, addrA, addrB, 1, 2)) {
+		t.Error("wildcard entry should match any ports")
+	}
+	if !w.Matches(pkt(17, addrA, addrB, 9999, 53)) {
+		t.Error("wildcard entry should match any protocol")
+	}
+	if w.Matches(pkt(6, addrB, addrA, 1, 2)) {
+		t.Error("wildcard entry should not match reversed hosts")
+	}
+}
+
+func TestNWBitsAccessors(t *testing.T) {
+	var m Match
+	for _, bits := range []int{0, 1, 8, 16, 31, 32} {
+		m.SetNWSrcBits(bits)
+		m.SetNWDstBits(bits)
+		if m.NWSrcBits() != bits || m.NWDstBits() != bits {
+			t.Errorf("bits = %d, got src %d dst %d", bits, m.NWSrcBits(), m.NWDstBits())
+		}
+	}
+	// Values above 32 are capped at 32 by the accessor.
+	m.SetNWSrcBits(63)
+	if m.NWSrcBits() != 32 {
+		t.Errorf("NWSrcBits() = %d, want capped 32", m.NWSrcBits())
+	}
+}
+
+func TestCIDRMatching(t *testing.T) {
+	e := ExactMatch(6, netip.MustParseAddr("10.1.0.0"), addrB, 0, 80)
+	e.Wildcards |= WildcardTPSrc
+	e.SetNWSrcBits(16) // match 10.1.*.*
+	if !e.Matches(pkt(6, netip.MustParseAddr("10.1.255.9"), addrB, 5, 80)) {
+		t.Error("10.1/16 entry should match 10.1.255.9")
+	}
+	if e.Matches(pkt(6, netip.MustParseAddr("10.2.0.1"), addrB, 5, 80)) {
+		t.Error("10.1/16 entry should not match 10.2.0.1")
+	}
+}
+
+func TestWildcardAllMatchesAnything(t *testing.T) {
+	entry := Match{Wildcards: WildcardAll}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomMatch(rng)
+		p.Wildcards = 0
+		return entry.Matches(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreSpecificWildcardsSubsume(t *testing.T) {
+	// Property: if an exact entry matches a packet, the host-pair wildcard
+	// built from the same addresses also matches it.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var srcB, dstB [4]byte
+		rng.Read(srcB[:])
+		rng.Read(dstB[:])
+		src := netip.AddrFrom4(srcB)
+		dst := netip.AddrFrom4(dstB)
+		tpS := uint16(rng.Intn(65536))
+		tpD := uint16(rng.Intn(65536))
+		p := pkt(6, src, dst, tpS, tpD)
+		exact := ExactMatch(6, src, dst, tpS, tpD)
+		wide := HostPairMatch(src, dst)
+		return !exact.Matches(p) || wide.Matches(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	e := ExactMatch(6, addrA, addrB, 1000, 80)
+	s := e.String()
+	for _, want := range []string{"10.1.0.1:1000", "10.1.0.2:80", "proto=6"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	w := HostPairMatch(addrA, addrB)
+	if !strings.Contains(w.String(), ":*") {
+		t.Errorf("wildcard String() = %q, want port wildcards", w.String())
+	}
+}

@@ -1,0 +1,668 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// --- simple symmetric messages -------------------------------------------
+
+// Hello is exchanged on connection setup.
+type Hello struct {
+	XID uint32
+}
+
+// MsgType implements Message.
+func (*Hello) MsgType() MsgType { return TypeHello }
+
+// TransactionID implements Message.
+func (m *Hello) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Hello) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen)
+	Header{Version, TypeHello, HeaderLen, m.XID}.marshalTo(b)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Hello) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	m.XID = h.XID
+	return nil
+}
+
+// EchoRequest is a liveness probe; payload is echoed back.
+type EchoRequest struct {
+	XID  uint32
+	Data []byte
+}
+
+// MsgType implements Message.
+func (*EchoRequest) MsgType() MsgType { return TypeEchoRequest }
+
+// TransactionID implements Message.
+func (m *EchoRequest) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *EchoRequest) MarshalBinary() ([]byte, error) {
+	return marshalEcho(TypeEchoRequest, m.XID, m.Data)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *EchoRequest) UnmarshalBinary(b []byte) error {
+	xid, data, err := unmarshalEcho(b)
+	m.XID, m.Data = xid, data
+	return err
+}
+
+// EchoReply answers an EchoRequest with the same payload.
+type EchoReply struct {
+	XID  uint32
+	Data []byte
+}
+
+// MsgType implements Message.
+func (*EchoReply) MsgType() MsgType { return TypeEchoReply }
+
+// TransactionID implements Message.
+func (m *EchoReply) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *EchoReply) MarshalBinary() ([]byte, error) {
+	return marshalEcho(TypeEchoReply, m.XID, m.Data)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *EchoReply) UnmarshalBinary(b []byte) error {
+	xid, data, err := unmarshalEcho(b)
+	m.XID, m.Data = xid, data
+	return err
+}
+
+func marshalEcho(t MsgType, xid uint32, data []byte) ([]byte, error) {
+	b := make([]byte, HeaderLen+len(data))
+	Header{Version, t, uint16(len(b)), xid}.marshalTo(b)
+	copy(b[HeaderLen:], data)
+	return b, nil
+}
+
+func unmarshalEcho(b []byte) (uint32, []byte, error) {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	var data []byte
+	if len(b) > HeaderLen {
+		data = append([]byte(nil), b[HeaderLen:]...)
+	}
+	return h.XID, data, nil
+}
+
+// Error reports a protocol error (ofp_error_msg).
+type Error struct {
+	XID     uint32
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (*Error) MsgType() MsgType { return TypeError }
+
+// TransactionID implements Message.
+func (m *Error) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Error) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen+4+len(m.Data))
+	Header{Version, TypeError, uint16(len(b)), m.XID}.marshalTo(b)
+	binary.BigEndian.PutUint16(b[8:10], m.ErrType)
+	binary.BigEndian.PutUint16(b[10:12], m.Code)
+	copy(b[12:], m.Data)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Error) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+4 {
+		return fmt.Errorf("openflow: ERROR message too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.ErrType = binary.BigEndian.Uint16(b[8:10])
+	m.Code = binary.BigEndian.Uint16(b[10:12])
+	if len(b) > 12 {
+		m.Data = append([]byte(nil), b[12:]...)
+	} else {
+		m.Data = nil
+	}
+	return nil
+}
+
+// --- handshake -------------------------------------------------------------
+
+// FeaturesRequest asks a switch for its datapath description.
+type FeaturesRequest struct {
+	XID uint32
+}
+
+// MsgType implements Message.
+func (*FeaturesRequest) MsgType() MsgType { return TypeFeaturesRequest }
+
+// TransactionID implements Message.
+func (m *FeaturesRequest) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *FeaturesRequest) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen)
+	Header{Version, TypeFeaturesRequest, HeaderLen, m.XID}.marshalTo(b)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *FeaturesRequest) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	m.XID = h.XID
+	return nil
+}
+
+// PhyPortLen is the wire length of ofp_phy_port.
+const PhyPortLen = 48
+
+// PhyPort describes one physical switch port (ofp_phy_port).
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     [6]byte
+	Name       string // at most 15 bytes on the wire (NUL-terminated)
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+func (p PhyPort) marshalTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
+	copy(b[2:8], p.HWAddr[:])
+	name := p.Name
+	if len(name) > 15 {
+		name = name[:15]
+	}
+	copy(b[8:24], name)
+	binary.BigEndian.PutUint32(b[24:28], p.Config)
+	binary.BigEndian.PutUint32(b[28:32], p.State)
+	binary.BigEndian.PutUint32(b[32:36], p.Curr)
+	binary.BigEndian.PutUint32(b[36:40], p.Advertised)
+	binary.BigEndian.PutUint32(b[40:44], p.Supported)
+	binary.BigEndian.PutUint32(b[44:48], p.Peer)
+}
+
+func unmarshalPhyPort(b []byte) (PhyPort, error) {
+	if len(b) < PhyPortLen {
+		return PhyPort{}, fmt.Errorf("openflow: phy port too short: %d bytes", len(b))
+	}
+	var p PhyPort
+	p.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	p.Config = binary.BigEndian.Uint32(b[24:28])
+	p.State = binary.BigEndian.Uint32(b[28:32])
+	p.Curr = binary.BigEndian.Uint32(b[32:36])
+	p.Advertised = binary.BigEndian.Uint32(b[36:40])
+	p.Supported = binary.BigEndian.Uint32(b[40:44])
+	p.Peer = binary.BigEndian.Uint32(b[44:48])
+	return p, nil
+}
+
+// FeaturesReply describes a datapath (ofp_switch_features).
+type FeaturesReply struct {
+	XID          uint32
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+// MsgType implements Message.
+func (*FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+// TransactionID implements Message.
+func (m *FeaturesReply) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *FeaturesReply) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen+24+PhyPortLen*len(m.Ports))
+	Header{Version, TypeFeaturesReply, uint16(len(b)), m.XID}.marshalTo(b)
+	binary.BigEndian.PutUint64(b[8:16], m.DatapathID)
+	binary.BigEndian.PutUint32(b[16:20], m.NBuffers)
+	b[20] = m.NTables
+	// b[21:24] pad
+	binary.BigEndian.PutUint32(b[24:28], m.Capabilities)
+	binary.BigEndian.PutUint32(b[28:32], m.Actions)
+	off := 32
+	for _, p := range m.Ports {
+		p.marshalTo(b[off : off+PhyPortLen])
+		off += PhyPortLen
+	}
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *FeaturesReply) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+24 {
+		return fmt.Errorf("openflow: FEATURES_REPLY too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.DatapathID = binary.BigEndian.Uint64(b[8:16])
+	m.NBuffers = binary.BigEndian.Uint32(b[16:20])
+	m.NTables = b[20]
+	m.Capabilities = binary.BigEndian.Uint32(b[24:28])
+	m.Actions = binary.BigEndian.Uint32(b[28:32])
+	m.Ports = nil
+	for off := 32; off+PhyPortLen <= len(b); off += PhyPortLen {
+		p, err := unmarshalPhyPort(b[off:])
+		if err != nil {
+			return err
+		}
+		m.Ports = append(m.Ports, p)
+	}
+	return nil
+}
+
+// --- async / controller-command messages -----------------------------------
+
+// PacketIn reasons (enum ofp_packet_in_reason).
+const (
+	PacketInReasonNoMatch uint8 = iota
+	PacketInReasonAction
+)
+
+// PacketIn notifies the controller of a packet without a matching flow
+// entry (the reactive-mode telemetry FlowDiff's signatures are built from).
+type PacketIn struct {
+	XID      uint32
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte // truncated packet bytes
+}
+
+// MsgType implements Message.
+func (*PacketIn) MsgType() MsgType { return TypePacketIn }
+
+// TransactionID implements Message.
+func (m *PacketIn) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *PacketIn) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen+10+len(m.Data))
+	Header{Version, TypePacketIn, uint16(len(b)), m.XID}.marshalTo(b)
+	binary.BigEndian.PutUint32(b[8:12], m.BufferID)
+	binary.BigEndian.PutUint16(b[12:14], m.TotalLen)
+	binary.BigEndian.PutUint16(b[14:16], m.InPort)
+	b[16] = m.Reason
+	// b[17] pad
+	copy(b[18:], m.Data)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *PacketIn) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+10 {
+		return fmt.Errorf("openflow: PACKET_IN too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.BufferID = binary.BigEndian.Uint32(b[8:12])
+	m.TotalLen = binary.BigEndian.Uint16(b[12:14])
+	m.InPort = binary.BigEndian.Uint16(b[14:16])
+	m.Reason = b[16]
+	if len(b) > 18 {
+		m.Data = append([]byte(nil), b[18:]...)
+	} else {
+		m.Data = nil
+	}
+	return nil
+}
+
+// PacketOut instructs a switch to emit a (possibly buffered) packet.
+type PacketOut struct {
+	XID      uint32
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (*PacketOut) MsgType() MsgType { return TypePacketOut }
+
+// TransactionID implements Message.
+func (m *PacketOut) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *PacketOut) MarshalBinary() ([]byte, error) {
+	actions, err := marshalActions(m.Actions)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, HeaderLen+8+len(actions)+len(m.Data))
+	Header{Version, TypePacketOut, uint16(len(b)), m.XID}.marshalTo(b)
+	binary.BigEndian.PutUint32(b[8:12], m.BufferID)
+	binary.BigEndian.PutUint16(b[12:14], m.InPort)
+	binary.BigEndian.PutUint16(b[14:16], uint16(len(actions)))
+	copy(b[16:], actions)
+	copy(b[16+len(actions):], m.Data)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *PacketOut) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+8 {
+		return fmt.Errorf("openflow: PACKET_OUT too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.BufferID = binary.BigEndian.Uint32(b[8:12])
+	m.InPort = binary.BigEndian.Uint16(b[12:14])
+	alen := int(binary.BigEndian.Uint16(b[14:16]))
+	if len(b) < 16+alen {
+		return fmt.Errorf("openflow: PACKET_OUT actions truncated")
+	}
+	m.Actions, err = unmarshalActions(b[16 : 16+alen])
+	if err != nil {
+		return err
+	}
+	if len(b) > 16+alen {
+		m.Data = append([]byte(nil), b[16+alen:]...)
+	} else {
+		m.Data = nil
+	}
+	return nil
+}
+
+// FlowMod commands (enum ofp_flow_mod_command).
+const (
+	FlowModAdd uint16 = iota
+	FlowModModify
+	FlowModModifyStrict
+	FlowModDelete
+	FlowModDeleteStrict
+)
+
+// FlowMod flags.
+const (
+	FlowModFlagSendFlowRem  uint16 = 1 << 0
+	FlowModFlagCheckOverlap uint16 = 1 << 1
+	FlowModFlagEmerg        uint16 = 1 << 2
+)
+
+// FlowMod installs, modifies, or deletes flow-table entries.
+type FlowMod struct {
+	XID         uint32
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16 // seconds
+	HardTimeout uint16 // seconds
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (*FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+// TransactionID implements Message.
+func (m *FlowMod) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *FlowMod) MarshalBinary() ([]byte, error) {
+	actions, err := marshalActions(m.Actions)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, HeaderLen+MatchLen+24+len(actions))
+	Header{Version, TypeFlowMod, uint16(len(b)), m.XID}.marshalTo(b)
+	m.Match.marshalTo(b[8:48])
+	binary.BigEndian.PutUint64(b[48:56], m.Cookie)
+	binary.BigEndian.PutUint16(b[56:58], m.Command)
+	binary.BigEndian.PutUint16(b[58:60], m.IdleTimeout)
+	binary.BigEndian.PutUint16(b[60:62], m.HardTimeout)
+	binary.BigEndian.PutUint16(b[62:64], m.Priority)
+	binary.BigEndian.PutUint32(b[64:68], m.BufferID)
+	binary.BigEndian.PutUint16(b[68:70], m.OutPort)
+	binary.BigEndian.PutUint16(b[70:72], m.Flags)
+	copy(b[72:], actions)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *FlowMod) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+MatchLen+24 {
+		return fmt.Errorf("openflow: FLOW_MOD too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	if m.Match, err = unmarshalMatch(b[8:48]); err != nil {
+		return err
+	}
+	m.Cookie = binary.BigEndian.Uint64(b[48:56])
+	m.Command = binary.BigEndian.Uint16(b[56:58])
+	m.IdleTimeout = binary.BigEndian.Uint16(b[58:60])
+	m.HardTimeout = binary.BigEndian.Uint16(b[60:62])
+	m.Priority = binary.BigEndian.Uint16(b[62:64])
+	m.BufferID = binary.BigEndian.Uint32(b[64:68])
+	m.OutPort = binary.BigEndian.Uint16(b[68:70])
+	m.Flags = binary.BigEndian.Uint16(b[70:72])
+	m.Actions, err = unmarshalActions(b[72:])
+	return err
+}
+
+// FlowRemoved reasons (enum ofp_flow_removed_reason).
+const (
+	FlowRemovedReasonIdleTimeout uint8 = iota
+	FlowRemovedReasonHardTimeout
+	FlowRemovedReasonDelete
+)
+
+// FlowRemoved notifies the controller that a flow entry expired, carrying
+// the entry's final byte/packet counters and duration — the volume
+// telemetry behind FlowDiff's FS signature.
+type FlowRemoved struct {
+	XID          uint32
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+// MsgType implements Message.
+func (*FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+
+// TransactionID implements Message.
+func (m *FlowRemoved) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *FlowRemoved) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen+MatchLen+40)
+	Header{Version, TypeFlowRemoved, uint16(len(b)), m.XID}.marshalTo(b)
+	m.Match.marshalTo(b[8:48])
+	binary.BigEndian.PutUint64(b[48:56], m.Cookie)
+	binary.BigEndian.PutUint16(b[56:58], m.Priority)
+	b[58] = m.Reason
+	// b[59] pad
+	binary.BigEndian.PutUint32(b[60:64], m.DurationSec)
+	binary.BigEndian.PutUint32(b[64:68], m.DurationNsec)
+	binary.BigEndian.PutUint16(b[68:70], m.IdleTimeout)
+	// b[70:72] pad
+	binary.BigEndian.PutUint64(b[72:80], m.PacketCount)
+	binary.BigEndian.PutUint64(b[80:88], m.ByteCount)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *FlowRemoved) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+MatchLen+40 {
+		return fmt.Errorf("openflow: FLOW_REMOVED too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	if m.Match, err = unmarshalMatch(b[8:48]); err != nil {
+		return err
+	}
+	m.Cookie = binary.BigEndian.Uint64(b[48:56])
+	m.Priority = binary.BigEndian.Uint16(b[56:58])
+	m.Reason = b[58]
+	m.DurationSec = binary.BigEndian.Uint32(b[60:64])
+	m.DurationNsec = binary.BigEndian.Uint32(b[64:68])
+	m.IdleTimeout = binary.BigEndian.Uint16(b[68:70])
+	m.PacketCount = binary.BigEndian.Uint64(b[72:80])
+	m.ByteCount = binary.BigEndian.Uint64(b[80:88])
+	return nil
+}
+
+// PortStatus reasons (enum ofp_port_reason).
+const (
+	PortReasonAdd uint8 = iota
+	PortReasonDelete
+	PortReasonModify
+)
+
+// PortStatus announces a physical port change (link up/down, add/remove).
+type PortStatus struct {
+	XID    uint32
+	Reason uint8
+	Desc   PhyPort
+}
+
+// MsgType implements Message.
+func (*PortStatus) MsgType() MsgType { return TypePortStatus }
+
+// TransactionID implements Message.
+func (m *PortStatus) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *PortStatus) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen+8+PhyPortLen)
+	Header{Version, TypePortStatus, uint16(len(b)), m.XID}.marshalTo(b)
+	b[8] = m.Reason
+	// b[9:16] pad
+	m.Desc.marshalTo(b[16:])
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *PortStatus) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+8+PhyPortLen {
+		return fmt.Errorf("openflow: PORT_STATUS too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.Reason = b[8]
+	m.Desc, err = unmarshalPhyPort(b[16:])
+	return err
+}
+
+// BarrierRequest asks the switch to finish processing preceding messages.
+type BarrierRequest struct {
+	XID uint32
+}
+
+// MsgType implements Message.
+func (*BarrierRequest) MsgType() MsgType { return TypeBarrierRequest }
+
+// TransactionID implements Message.
+func (m *BarrierRequest) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *BarrierRequest) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen)
+	Header{Version, TypeBarrierRequest, HeaderLen, m.XID}.marshalTo(b)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *BarrierRequest) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	m.XID = h.XID
+	return nil
+}
+
+// BarrierReply answers a BarrierRequest.
+type BarrierReply struct {
+	XID uint32
+}
+
+// MsgType implements Message.
+func (*BarrierReply) MsgType() MsgType { return TypeBarrierReply }
+
+// TransactionID implements Message.
+func (m *BarrierReply) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *BarrierReply) MarshalBinary() ([]byte, error) {
+	b := make([]byte, HeaderLen)
+	Header{Version, TypeBarrierReply, HeaderLen, m.XID}.marshalTo(b)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *BarrierReply) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	m.XID = h.XID
+	return nil
+}

@@ -1,0 +1,244 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stats types (enum ofp_stats_types).
+const (
+	StatsTypeDesc uint16 = iota
+	StatsTypeFlow
+	StatsTypeAggregate
+	StatsTypeTable
+	StatsTypePort
+)
+
+// StatsRequest polls the switch for counters; FlowDiff's controller uses
+// flow and port stats to learn utilization without touching the data path.
+type StatsRequest struct {
+	XID       uint32
+	StatsType uint16
+	Flags     uint16
+	// Flow stats request body (valid when StatsType == StatsTypeFlow).
+	Match   Match
+	TableID uint8
+	OutPort uint16
+	// Port stats request body (valid when StatsType == StatsTypePort).
+	PortNo uint16
+}
+
+// MsgType implements Message.
+func (*StatsRequest) MsgType() MsgType { return TypeStatsRequest }
+
+// TransactionID implements Message.
+func (m *StatsRequest) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *StatsRequest) MarshalBinary() ([]byte, error) {
+	var body []byte
+	switch m.StatsType {
+	case StatsTypeFlow, StatsTypeAggregate:
+		body = make([]byte, MatchLen+4)
+		m.Match.marshalTo(body)
+		body[MatchLen] = m.TableID
+		binary.BigEndian.PutUint16(body[MatchLen+2:MatchLen+4], m.OutPort)
+	case StatsTypePort:
+		body = make([]byte, 8)
+		binary.BigEndian.PutUint16(body[0:2], m.PortNo)
+	}
+	b := make([]byte, HeaderLen+4+len(body))
+	Header{Version, TypeStatsRequest, uint16(len(b)), m.XID}.marshalTo(b)
+	binary.BigEndian.PutUint16(b[8:10], m.StatsType)
+	binary.BigEndian.PutUint16(b[10:12], m.Flags)
+	copy(b[12:], body)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *StatsRequest) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+4 {
+		return fmt.Errorf("openflow: STATS_REQUEST too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.StatsType = binary.BigEndian.Uint16(b[8:10])
+	m.Flags = binary.BigEndian.Uint16(b[10:12])
+	body := b[12:]
+	switch m.StatsType {
+	case StatsTypeFlow, StatsTypeAggregate:
+		if len(body) < MatchLen+4 {
+			return fmt.Errorf("openflow: flow stats request body too short: %d bytes", len(body))
+		}
+		if m.Match, err = unmarshalMatch(body); err != nil {
+			return err
+		}
+		m.TableID = body[MatchLen]
+		m.OutPort = binary.BigEndian.Uint16(body[MatchLen+2 : MatchLen+4])
+	case StatsTypePort:
+		if len(body) < 8 {
+			return fmt.Errorf("openflow: port stats request body too short: %d bytes", len(body))
+		}
+		m.PortNo = binary.BigEndian.Uint16(body[0:2])
+	}
+	return nil
+}
+
+// FlowStatsEntry is one flow record in a flow-stats reply
+// (ofp_flow_stats, actions omitted from the reproduction's decoder).
+type FlowStatsEntry struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+const flowStatsEntryLen = 88 // fixed portion, no actions
+
+func (e FlowStatsEntry) marshalTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], flowStatsEntryLen)
+	b[2] = e.TableID
+	// b[3] pad
+	e.Match.marshalTo(b[4:44])
+	binary.BigEndian.PutUint32(b[44:48], e.DurationSec)
+	binary.BigEndian.PutUint32(b[48:52], e.DurationNsec)
+	binary.BigEndian.PutUint16(b[52:54], e.Priority)
+	binary.BigEndian.PutUint16(b[54:56], e.IdleTimeout)
+	binary.BigEndian.PutUint16(b[56:58], e.HardTimeout)
+	// b[58:64] pad
+	binary.BigEndian.PutUint64(b[64:72], e.Cookie)
+	binary.BigEndian.PutUint64(b[72:80], e.PacketCount)
+	binary.BigEndian.PutUint64(b[80:88], e.ByteCount)
+}
+
+// PortStatsEntry is one port record in a port-stats reply (ofp_port_stats,
+// error counters omitted).
+type PortStatsEntry struct {
+	PortNo    uint16
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+const portStatsEntryLen = 56
+
+func (e PortStatsEntry) marshalTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], e.PortNo)
+	// b[2:8] pad
+	binary.BigEndian.PutUint64(b[8:16], e.RxPackets)
+	binary.BigEndian.PutUint64(b[16:24], e.TxPackets)
+	binary.BigEndian.PutUint64(b[24:32], e.RxBytes)
+	binary.BigEndian.PutUint64(b[32:40], e.TxBytes)
+	binary.BigEndian.PutUint64(b[40:48], e.RxDropped)
+	binary.BigEndian.PutUint64(b[48:56], e.TxDropped)
+}
+
+// StatsReply carries switch counters back to the controller.
+type StatsReply struct {
+	XID       uint32
+	StatsType uint16
+	Flags     uint16
+	Flows     []FlowStatsEntry // when StatsType == StatsTypeFlow
+	Ports     []PortStatsEntry // when StatsType == StatsTypePort
+}
+
+// MsgType implements Message.
+func (*StatsReply) MsgType() MsgType { return TypeStatsReply }
+
+// TransactionID implements Message.
+func (m *StatsReply) TransactionID() uint32 { return m.XID }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *StatsReply) MarshalBinary() ([]byte, error) {
+	var bodyLen int
+	switch m.StatsType {
+	case StatsTypeFlow:
+		bodyLen = flowStatsEntryLen * len(m.Flows)
+	case StatsTypePort:
+		bodyLen = portStatsEntryLen * len(m.Ports)
+	}
+	b := make([]byte, HeaderLen+4+bodyLen)
+	Header{Version, TypeStatsReply, uint16(len(b)), m.XID}.marshalTo(b)
+	binary.BigEndian.PutUint16(b[8:10], m.StatsType)
+	binary.BigEndian.PutUint16(b[10:12], m.Flags)
+	off := 12
+	switch m.StatsType {
+	case StatsTypeFlow:
+		for _, e := range m.Flows {
+			e.marshalTo(b[off : off+flowStatsEntryLen])
+			off += flowStatsEntryLen
+		}
+	case StatsTypePort:
+		for _, e := range m.Ports {
+			e.marshalTo(b[off : off+portStatsEntryLen])
+			off += portStatsEntryLen
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *StatsReply) UnmarshalBinary(b []byte) error {
+	h, err := UnmarshalHeader(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < HeaderLen+4 {
+		return fmt.Errorf("openflow: STATS_REPLY too short: %d bytes", len(b))
+	}
+	m.XID = h.XID
+	m.StatsType = binary.BigEndian.Uint16(b[8:10])
+	m.Flags = binary.BigEndian.Uint16(b[10:12])
+	m.Flows, m.Ports = nil, nil
+	body := b[12:]
+	switch m.StatsType {
+	case StatsTypeFlow:
+		for len(body) >= flowStatsEntryLen {
+			l := int(binary.BigEndian.Uint16(body[0:2]))
+			if l < flowStatsEntryLen || l > len(body) {
+				return fmt.Errorf("openflow: invalid flow stats entry length %d", l)
+			}
+			var e FlowStatsEntry
+			e.TableID = body[2]
+			if e.Match, err = unmarshalMatch(body[4:44]); err != nil {
+				return err
+			}
+			e.DurationSec = binary.BigEndian.Uint32(body[44:48])
+			e.DurationNsec = binary.BigEndian.Uint32(body[48:52])
+			e.Priority = binary.BigEndian.Uint16(body[52:54])
+			e.IdleTimeout = binary.BigEndian.Uint16(body[54:56])
+			e.HardTimeout = binary.BigEndian.Uint16(body[56:58])
+			e.Cookie = binary.BigEndian.Uint64(body[64:72])
+			e.PacketCount = binary.BigEndian.Uint64(body[72:80])
+			e.ByteCount = binary.BigEndian.Uint64(body[80:88])
+			m.Flows = append(m.Flows, e)
+			body = body[l:]
+		}
+	case StatsTypePort:
+		for len(body) >= portStatsEntryLen {
+			var e PortStatsEntry
+			e.PortNo = binary.BigEndian.Uint16(body[0:2])
+			e.RxPackets = binary.BigEndian.Uint64(body[8:16])
+			e.TxPackets = binary.BigEndian.Uint64(body[16:24])
+			e.RxBytes = binary.BigEndian.Uint64(body[24:32])
+			e.TxBytes = binary.BigEndian.Uint64(body[32:40])
+			e.RxDropped = binary.BigEndian.Uint64(body[40:48])
+			e.TxDropped = binary.BigEndian.Uint64(body[48:56])
+			m.Ports = append(m.Ports, e)
+			body = body[portStatsEntryLen:]
+		}
+	}
+	return nil
+}

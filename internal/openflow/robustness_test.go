@@ -1,0 +1,118 @@
+package openflow
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnRandomBytes feeds arbitrary byte soup to the
+// decoder: it must return an error or a message, never panic or loop.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(n)%512)
+		rng.Read(buf)
+		// Decode must not panic regardless of content.
+		_, _ = Decode(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanicsOnCorruptedValidMessages takes well-formed
+// messages and flips bytes: decoding must stay panic-free, and when it
+// succeeds the header type must be preserved or the error explicit.
+func TestDecodeNeverPanicsOnCorruptedValidMessages(t *testing.T) {
+	msgs := []Message{
+		&Hello{XID: 1},
+		&PacketIn{XID: 2, Data: []byte("payload")},
+		&FlowMod{XID: 3, Actions: []Action{ActionOutput{Port: 1}}},
+		&FlowRemoved{XID: 4},
+		&StatsReply{XID: 5, StatsType: StatsTypeFlow, Flows: []FlowStatsEntry{{}}},
+		&FeaturesReply{XID: 6, Ports: []PhyPort{{PortNo: 1}}},
+		&PacketOut{XID: 7, Actions: []Action{ActionEnqueue{Port: 2, QueueID: 3}}},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, m := range msgs {
+		base, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			b := append([]byte(nil), base...)
+			// Flip 1-4 random bytes, keeping the length field coherent
+			// half the time.
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+			}
+			_, _ = Decode(b) // must not panic
+		}
+	}
+}
+
+// TestReaderSurvivesGarbageStream streams random bytes through the framed
+// reader: every outcome must be an error or a message, and the reader
+// must terminate.
+func TestReaderSurvivesGarbageStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		buf := make([]byte, rng.Intn(256))
+		rng.Read(buf)
+		r := NewReader(bytes.NewReader(buf))
+		for i := 0; i < 64; i++ { // bounded: must hit EOF or an error
+			if _, err := r.ReadMessage(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestReaderPartialMessages verifies clean handling of every truncation
+// point of a valid message.
+func TestReaderPartialMessages(t *testing.T) {
+	m := &FlowMod{XID: 9, Actions: []Action{ActionOutput{Port: 3}}}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		r := NewReader(bytes.NewReader(b[:cut]))
+		_, err := r.ReadMessage()
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+		if cut == 0 && err != io.EOF {
+			t.Errorf("empty stream should be io.EOF, got %v", err)
+		}
+	}
+}
+
+// TestActionsRoundTripUnknownTypes: unknown actions survive a decode ->
+// encode round trip byte-identically (opaque preservation).
+func TestActionsRoundTripUnknownTypes(t *testing.T) {
+	raw := make([]byte, 16)
+	raw[0], raw[1] = 0x00, 0x2a // type 42
+	raw[2], raw[3] = 0x00, 0x10 // len 16
+	for i := 4; i < 16; i++ {
+		raw[i] = byte(i)
+	}
+	actions, err := unmarshalActions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 {
+		t.Fatalf("got %d actions", len(actions))
+	}
+	back, err := marshalActions(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, back) {
+		t.Errorf("unknown action not preserved:\n in  %x\n out %x", raw, back)
+	}
+}

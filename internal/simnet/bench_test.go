@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/topology"
+)
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkSimulateLabSecond measures simulating one virtual second of a
+// busy lab fabric (new flow every 10 ms).
+func BenchmarkSimulateLabSecond(b *testing.B) {
+	topo, err := topology.Lab()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := topo.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n, err := NewNetwork(topo, Config{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			src := hosts[j%len(hosts)]
+			dst := hosts[(j+13)%len(hosts)]
+			if src.ID == dst.ID {
+				continue
+			}
+			key := flowlog.FlowKey{Proto: 6, Src: src.Addr, Dst: dst.Addr,
+				SrcPort: uint16(3000 + j), DstPort: 80}
+			n.StartFlow(time.Duration(j)*10*time.Millisecond, Flow{Key: key, Bytes: 4096})
+		}
+		b.StartTimer()
+		n.Eng.Run(time.Second)
+	}
+}

@@ -1,0 +1,106 @@
+// Package simnet is a discrete-event simulator of a flow-based data
+// center. It combines the topology, switch, and controller substrates
+// into a single virtual-time event loop: hosts start flows, OpenFlow
+// switches miss and consult the controller (per-hop reactive setup as in
+// Figure 3 of the paper), entries expire into FlowRemoved messages, and
+// every control message is captured into a flowlog.Log with controller
+// timestamps — the input to FlowDiff's modeling phase.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor over a virtual
+// clock. The zero value is not usable; create one with NewEngine.
+type Engine struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine creates an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn at the given virtual time. Times in the past execute
+// at the current time (never before: the clock is monotonic).
+func (e *Engine) Schedule(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.Schedule(e.now+d, fn)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Run executes events in timestamp order until the queue is empty or the
+// next event is later than until. The clock advances to each executed
+// event's time; it finishes at until if the horizon was reached.
+func (e *Engine) Run(until time.Duration) {
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes every queued event (including events scheduled by other
+// events) until the queue drains.
+func (e *Engine) RunAll() {
+	for len(e.pq) > 0 {
+		next := heap.Pop(&e.pq).(*event)
+		e.now = next.at
+		next.fn()
+	}
+}

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(time.Second, func() { ran++ })
+	e.Schedule(10*time.Second, func() { ran++ })
+	e.Run(5 * time.Second)
+	if ran != 1 {
+		t.Errorf("ran %d events before horizon, want 1", ran)
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want horizon 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(20 * time.Second)
+	if ran != 2 {
+		t.Error("second event never ran")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Second, func() {
+		times = append(times, e.Now())
+		e.After(2*time.Second, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.RunAll()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(5*time.Second, func() {
+		e.Schedule(time.Second, func() { at = e.Now() }) // in the past
+	})
+	e.RunAll()
+	if at != 5*time.Second {
+		t.Errorf("past event ran at %v, want clamped to 5s", at)
+	}
+}
+
+func TestEngineClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		var check func()
+		check = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if rng.Intn(3) == 0 && e.Pending() < 100 {
+				e.After(time.Duration(rng.Intn(1000))*time.Millisecond, check)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			e.Schedule(time.Duration(rng.Intn(10000))*time.Millisecond, check)
+		}
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

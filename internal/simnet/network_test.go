@@ -1,0 +1,419 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flowdiff/internal/controller"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/topology"
+)
+
+func labNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func hostKey(t *testing.T, n *Network, src, dst topology.NodeID, sp, dp uint16) flowlog.FlowKey {
+	t.Helper()
+	s, ok := n.Topo.Node(src)
+	if !ok {
+		t.Fatalf("unknown host %s", src)
+	}
+	d, ok := n.Topo.Node(dst)
+	if !ok {
+		t.Fatalf("unknown host %s", dst)
+	}
+	return flowlog.FlowKey{Proto: 6, Src: s.Addr, Dst: d.Addr, SrcPort: sp, DstPort: dp}
+}
+
+func TestReactiveFlowGeneratesPerHopControlTraffic(t *testing.T) {
+	n := labNet(t, Config{Seed: 1})
+	key := hostKey(t, n, "S1", "S6", 4000, 80)
+	n.StartFlow(0, Flow{Key: key, Bytes: 15000})
+
+	delivered := false
+	n.OnDeliver("S6", func(d Delivery) {
+		delivered = true
+		if d.Src != "S1" || d.Dst != "S6" {
+			t.Errorf("delivery endpoints %s->%s", d.Src, d.Dst)
+		}
+		if d.Delivered <= d.Started {
+			t.Error("delivery must take positive time")
+		}
+	})
+	n.Eng.Run(2 * time.Second)
+
+	if !delivered {
+		t.Fatal("flow never delivered")
+	}
+	log := n.Log()
+	pis := log.ByType(flowlog.EventPacketIn).Events
+	fms := log.ByType(flowlog.EventFlowMod).Events
+	hops, _ := n.Topo.Path("S1", "S6")
+	wantHops := len(n.Topo.SwitchHops(hops))
+	if len(pis) != wantHops {
+		t.Errorf("PacketIn count = %d, want %d (one per OpenFlow hop)", len(pis), wantHops)
+	}
+	if len(fms) != wantHops {
+		t.Errorf("FlowMod count = %d, want %d", len(fms), wantHops)
+	}
+	// PacketIns are ordered along the path and each FlowMod follows its
+	// PacketIn.
+	for i := 1; i < len(pis); i++ {
+		if pis[i].Time <= pis[i-1].Time {
+			t.Error("PacketIns not strictly ordered along the path")
+		}
+	}
+	for i := range pis {
+		if fms[i].Time < pis[i].Time {
+			t.Error("FlowMod precedes its PacketIn")
+		}
+	}
+}
+
+func TestSecondFlowSameKeyHitsTable(t *testing.T) {
+	n := labNet(t, Config{Seed: 1})
+	key := hostKey(t, n, "S1", "S6", 4000, 80)
+	n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+	n.StartFlow(time.Second, Flow{Key: key, Bytes: 1500}) // within idle timeout
+	n.Eng.Run(3 * time.Second)
+	log := n.Log()
+	hops, _ := n.Topo.Path("S1", "S6")
+	wantHops := len(n.Topo.SwitchHops(hops))
+	if got := len(log.ByType(flowlog.EventPacketIn).Events); got != wantHops {
+		t.Errorf("PacketIn count = %d, want %d (reused entries must not miss)", got, wantHops)
+	}
+}
+
+func TestFlowRemovedCarriesCounters(t *testing.T) {
+	n := labNet(t, Config{Seed: 1})
+	key := hostKey(t, n, "S1", "S2", 4000, 80)
+	const bytes = 45000
+	n.StartFlow(0, Flow{Key: key, Bytes: bytes})
+	// Run past idle timeout (5s) + sweep.
+	n.Eng.Run(10 * time.Second)
+	frs := n.Log().ByType(flowlog.EventFlowRemoved).Events
+	if len(frs) == 0 {
+		t.Fatal("no FlowRemoved after idle timeout")
+	}
+	for _, fr := range frs {
+		if fr.Bytes != bytes {
+			t.Errorf("FlowRemoved bytes = %d, want %d", fr.Bytes, bytes)
+		}
+		if fr.Packets != 30 {
+			t.Errorf("FlowRemoved packets = %d, want 30", fr.Packets)
+		}
+		if fr.FlowDuration <= 0 {
+			t.Error("FlowRemoved duration not positive")
+		}
+	}
+}
+
+func TestLossInflatesBytesAndDelay(t *testing.T) {
+	nClean := labNet(t, Config{Seed: 7})
+	nLossy := labNet(t, Config{Seed: 7})
+	// 1% loss on every link of the S1->S6 path.
+	hops, _ := nLossy.Topo.Path("S1", "S6")
+	for i := 1; i < len(hops); i++ {
+		l, ok := nLossy.Topo.LinkBetween(hops[i-1].Node, hops[i].Node)
+		if !ok {
+			t.Fatal("missing link")
+		}
+		l.LossProb = 0.01
+	}
+
+	var cleanDelay, lossyDelay time.Duration
+	run := func(n *Network, delay *time.Duration) uint64 {
+		key := hostKey(t, n, "S1", "S6", 4000, 80)
+		n.OnDeliver("S6", func(d Delivery) { *delay = d.Delivered - d.Started })
+		for i := 0; i < 20; i++ {
+			k := key
+			k.SrcPort = uint16(4000 + i)
+			n.StartFlow(time.Duration(i)*200*time.Millisecond, Flow{Key: k, Bytes: 150000})
+		}
+		n.Eng.Run(30 * time.Second)
+		var total uint64
+		for _, fr := range n.Log().ByType(flowlog.EventFlowRemoved).Events {
+			total += fr.Bytes
+		}
+		return total
+	}
+	cleanBytes := run(nClean, &cleanDelay)
+	lossyBytes := run(nLossy, &lossyDelay)
+	if lossyBytes <= cleanBytes {
+		t.Errorf("loss should inflate observed bytes: clean=%d lossy=%d", cleanBytes, lossyBytes)
+	}
+	if lossyDelay <= cleanDelay {
+		t.Errorf("loss should inflate delivery delay: clean=%v lossy=%v", cleanDelay, lossyDelay)
+	}
+}
+
+func TestWildcardModeReducesControlTraffic(t *testing.T) {
+	reactive := labNet(t, Config{Seed: 3, Mode: controller.ModeReactive})
+	wildcard := labNet(t, Config{Seed: 3, Mode: controller.ModeWildcard})
+	run := func(n *Network) int {
+		key := hostKey(t, n, "S1", "S6", 0, 80)
+		for i := 0; i < 10; i++ {
+			k := key
+			k.SrcPort = uint16(5000 + i)
+			n.StartFlow(time.Duration(i)*100*time.Millisecond, Flow{Key: k, Bytes: 3000})
+		}
+		n.Eng.Run(3 * time.Second)
+		return len(n.Log().ByType(flowlog.EventPacketIn).Events)
+	}
+	r := run(reactive)
+	w := run(wildcard)
+	if w >= r {
+		t.Errorf("wildcard mode should reduce PacketIns: reactive=%d wildcard=%d", r, w)
+	}
+	hops, _ := wildcard.Topo.Path("S1", "S6")
+	if want := len(wildcard.Topo.SwitchHops(hops)); w != want {
+		t.Errorf("wildcard PacketIns = %d, want %d (only the first flow misses)", w, want)
+	}
+}
+
+func TestProactiveModeSilencesControlPlane(t *testing.T) {
+	n := labNet(t, Config{Seed: 5, Mode: controller.ModeProactive})
+	key := hostKey(t, n, "S1", "S6", 4000, 80)
+	delivered := false
+	n.OnDeliver("S6", func(Delivery) { delivered = true })
+	n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+	n.Eng.Run(2 * time.Second)
+	if !delivered {
+		t.Fatal("proactive mode must still deliver flows")
+	}
+	if got := len(n.Log().Events); got != 0 {
+		t.Errorf("proactive mode generated %d control events, want 0", got)
+	}
+}
+
+func TestControllerDownDropsNewFlows(t *testing.T) {
+	n := labNet(t, Config{Seed: 5})
+	n.ControllerDown = true
+	key := hostKey(t, n, "S1", "S6", 4000, 80)
+	delivered := false
+	n.OnDeliver("S6", func(Delivery) { delivered = true })
+	n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+	n.Eng.Run(time.Second)
+	if delivered {
+		t.Error("flow should be dropped with the controller down")
+	}
+	if n.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestHostDownDropsFlow(t *testing.T) {
+	n := labNet(t, Config{Seed: 5})
+	h, _ := n.Topo.Node("S6")
+	h.Down = true
+	n.InvalidateRoutes()
+	key := hostKey(t, n, "S1", "S6", 4000, 80)
+	n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+	n.Eng.Run(time.Second)
+	if n.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestSwitchFailureReroutesAfterInvalidation(t *testing.T) {
+	topo, err := topology.Tree320()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(topo, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h01-01 -> h05-01 crosses agg/core fabric; kill one agg switch and
+	// verify flows still deliver via the pair agg after invalidation.
+	key := flowlog.FlowKey{Proto: 6, SrcPort: 1, DstPort: 80}
+	s, _ := topo.Node("h01-01")
+	d, _ := topo.Node("h05-01")
+	key.Src, key.Dst = s.Addr, d.Addr
+
+	n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+	n.Eng.Run(time.Second)
+
+	agg, _ := topo.Node("agg1")
+	agg.Down = true
+	if sw, ok := n.Switch("agg1"); ok {
+		sw.Down = true
+	}
+	n.InvalidateRoutes()
+
+	delivered := false
+	n.OnDeliver("h05-01", func(Delivery) { delivered = true })
+	k2 := key
+	k2.SrcPort = 2
+	n.StartFlow(n.Eng.Now(), Flow{Key: k2, Bytes: 1500})
+	n.Eng.Run(n.Eng.Now() + 2*time.Second)
+	if !delivered {
+		t.Error("flow not rerouted around failed aggregation switch")
+	}
+}
+
+func TestDeterministicLogs(t *testing.T) {
+	run := func() []flowlog.Event {
+		n := labNet(t, Config{Seed: 42})
+		for i := 0; i < 10; i++ {
+			key := hostKey(t, n, "S1", "S6", uint16(4000+i), 80)
+			n.StartFlow(time.Duration(i)*137*time.Millisecond, Flow{Key: key, Bytes: 20000})
+		}
+		n.Eng.Run(20 * time.Second)
+		return n.Log().Events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResetLogStartsFresh(t *testing.T) {
+	n := labNet(t, Config{Seed: 1})
+	key := hostKey(t, n, "S1", "S6", 4000, 80)
+	n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+	n.Eng.Run(time.Second)
+	if len(n.Log().Events) == 0 {
+		t.Fatal("expected events before reset")
+	}
+	n.ResetLog()
+	if len(n.Log().Events) != 0 {
+		t.Error("log should be empty after reset")
+	}
+	k2 := key
+	k2.SrcPort = 4001
+	n.StartFlow(n.Eng.Now(), Flow{Key: k2, Bytes: 1500})
+	n.Eng.Run(2 * time.Second)
+	if len(n.Log().Events) == 0 {
+		t.Error("events after reset should be captured")
+	}
+}
+
+func TestDistributedControllerReducesQueueing(t *testing.T) {
+	run := func(controllers int) time.Duration {
+		topo, err := topology.Tree320()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNetwork(topo, Config{
+			Seed:              17,
+			Controllers:       controllers,
+			ControllerService: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A burst of simultaneous new flows from different racks.
+		hosts := topo.Hosts()
+		for i := 0; i < 40; i++ {
+			src := hosts[i*3%len(hosts)]
+			dst := hosts[(i*3+7)%len(hosts)]
+			if src.ID == dst.ID {
+				continue
+			}
+			key := flowlog.FlowKey{Proto: 6, Src: src.Addr, Dst: dst.Addr, SrcPort: uint16(1000 + i), DstPort: 80}
+			n.StartFlow(0, Flow{Key: key, Bytes: 1500})
+		}
+		n.Eng.Run(10 * time.Second)
+		// Mean gap between PacketIn and its FlowMod.
+		log := n.Log()
+		var total time.Duration
+		count := 0
+		pending := make(map[flowlog.FlowKey]time.Duration)
+		for _, e := range log.Events {
+			switch e.Type {
+			case flowlog.EventPacketIn:
+				pending[e.Flow] = e.Time
+			case flowlog.EventFlowMod:
+				if t0, ok := pending[e.Flow]; ok {
+					total += e.Time - t0
+					count++
+					delete(pending, e.Flow)
+				}
+			}
+		}
+		if count == 0 {
+			t.Fatal("no control round trips observed")
+		}
+		return total / time.Duration(count)
+	}
+	one := run(1)
+	four := run(4)
+	if four >= one {
+		t.Errorf("4 controllers should reduce mean response under burst: 1=%v 4=%v", one, four)
+	}
+}
+
+// TestConservationInvariants checks flow-accounting invariants across a
+// random workload: reactive mode produces exactly one FlowMod per
+// PacketIn, per-switch FlowRemoved byte totals are equal along a path,
+// and no counter goes backwards.
+func TestConservationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		n := labNet(t, Config{Seed: seed})
+		rng := rand.New(rand.NewSource(seed))
+		hosts := n.Topo.Hosts()
+		for i := 0; i < 30; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src.ID == dst.ID {
+				continue
+			}
+			key := flowlog.FlowKey{Proto: 6, Src: src.Addr, Dst: dst.Addr,
+				SrcPort: uint16(2000 + i), DstPort: 80}
+			n.StartFlow(time.Duration(rng.Intn(3000))*time.Millisecond,
+				Flow{Key: key, Bytes: uint64(1000 + rng.Intn(50000))})
+		}
+		n.Eng.Run(90 * time.Second) // past hard timeout: all entries expire
+		log := n.Log()
+		pis := len(log.ByType(flowlog.EventPacketIn).Events)
+		fms := len(log.ByType(flowlog.EventFlowMod).Events)
+		if pis != fms {
+			t.Logf("seed %d: PacketIns %d != FlowMods %d", seed, pis, fms)
+			return false
+		}
+		// Per flow key, every switch on the path reports the same final
+		// byte count.
+		perKey := make(map[flowlog.FlowKey]map[string]uint64)
+		for _, e := range log.ByType(flowlog.EventFlowRemoved).Events {
+			if perKey[e.Flow] == nil {
+				perKey[e.Flow] = make(map[string]uint64)
+			}
+			perKey[e.Flow][e.Switch] += e.Bytes
+		}
+		for key, bySwitch := range perKey {
+			var want uint64
+			first := true
+			for _, b := range bySwitch {
+				if first {
+					want = b
+					first = false
+				} else if b != want {
+					t.Logf("seed %d: key %v byte counts diverge across switches: %v", seed, key, bySwitch)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Poisson draws one sample from a Poisson distribution with the given mean
+// using Knuth's multiplication method for small means and a normal
+// approximation above 30 to stay O(1).
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation with continuity correction.
+		x := rng.NormFloat64()*math.Sqrt(mean) + mean + 0.5
+		if x < 0 {
+			return 0
+		}
+		return int(x)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Exponential draws an exponentially distributed duration with the given
+// mean. A non-positive mean yields 0.
+func Exponential(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// LogNormal draws a lognormally distributed duration whose *distribution*
+// (not log-space parameters) has the given mean and standard deviation.
+// This matches the paper's scalability workload: ON/OFF periods lognormal
+// with mean 100 ms and standard deviation 30 ms (§V, citing Benson et al.).
+func LogNormal(rng *rand.Rand, mean, stddev time.Duration) time.Duration {
+	m := float64(mean)
+	s := float64(stddev)
+	if m <= 0 {
+		return 0
+	}
+	if s <= 0 {
+		return mean
+	}
+	// Convert desired distribution mean/stddev to log-space mu/sigma.
+	v := s * s
+	sigma2 := math.Log(1 + v/(m*m))
+	mu := math.Log(m) - sigma2/2
+	x := math.Exp(mu + math.Sqrt(sigma2)*rng.NormFloat64())
+	return time.Duration(x)
+}
+
+// OnOffSource produces alternating ON/OFF period durations with lognormal
+// lengths, the traffic pattern Benson et al. measured in production data
+// centers and the paper adopts for its scalability simulation.
+type OnOffSource struct {
+	rng     *rand.Rand
+	MeanOn  time.Duration
+	StdOn   time.Duration
+	MeanOff time.Duration
+	StdOff  time.Duration
+	on      bool
+}
+
+// NewOnOffSource creates a source that starts in the OFF state so the first
+// transition yields an ON period.
+func NewOnOffSource(rng *rand.Rand, meanOn, stdOn, meanOff, stdOff time.Duration) *OnOffSource {
+	return &OnOffSource{rng: rng, MeanOn: meanOn, StdOn: stdOn, MeanOff: meanOff, StdOff: stdOff}
+}
+
+// Next returns the next period's duration and whether it is an ON period.
+func (s *OnOffSource) Next() (time.Duration, bool) {
+	s.on = !s.on
+	if s.on {
+		return LogNormal(s.rng, s.MeanOn, s.StdOn), true
+	}
+	return LogNormal(s.rng, s.MeanOff, s.StdOff), false
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac]. It is
+// used to perturb per-run task timing so mined task signatures must cope
+// with realistic variation.
+func Jitter(rng *rand.Rand, d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	scale := 1 + frac*(2*rng.Float64()-1)
+	if scale < 0 {
+		scale = 0
+	}
+	return time.Duration(float64(d) * scale)
+}

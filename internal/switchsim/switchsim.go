@@ -1,0 +1,213 @@
+// Package switchsim models an OpenFlow 1.0 switch's data-plane state: a
+// priority-ordered flow table with wildcard matching, idle/hard timeouts,
+// and per-entry byte/packet counters. A table miss surfaces as a PacketIn
+// callback and an expired entry as a FlowRemoved callback — exactly the
+// control-plane telemetry FlowDiff's measurement layer captures.
+//
+// The switch is driven by a virtual clock (time.Duration since simulation
+// start) supplied by the caller; it never reads the wall clock.
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flowdiff/internal/openflow"
+)
+
+// Entry is one installed flow-table rule.
+type Entry struct {
+	Match    openflow.Match
+	Priority uint16
+	OutPort  uint16
+	Cookie   uint64
+
+	// IdleTimeout expires the entry after inactivity; HardTimeout after
+	// total lifetime. Zero disables the respective timeout.
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+
+	Installed   time.Duration
+	LastMatched time.Duration
+
+	Packets uint64
+	Bytes   uint64
+
+	// NotifyRemoved requests a FlowRemoved message on expiry
+	// (OFPFF_SEND_FLOW_REM).
+	NotifyRemoved bool
+}
+
+// expired reports whether the entry has timed out at now, and the reason.
+func (e *Entry) expired(now time.Duration) (uint8, bool) {
+	if e.HardTimeout > 0 && now-e.Installed >= e.HardTimeout {
+		return openflow.FlowRemovedReasonHardTimeout, true
+	}
+	if e.IdleTimeout > 0 && now-e.LastMatched >= e.IdleTimeout {
+		return openflow.FlowRemovedReasonIdleTimeout, true
+	}
+	return 0, false
+}
+
+// PacketInFunc is invoked on a table miss.
+type PacketInFunc func(sw *Switch, pkt openflow.Match, inPort uint16, now time.Duration)
+
+// FlowRemovedFunc is invoked when an entry with NotifyRemoved expires or is
+// deleted.
+type FlowRemovedFunc func(sw *Switch, e *Entry, reason uint8, now time.Duration)
+
+// Switch is a simulated OpenFlow datapath.
+type Switch struct {
+	// ID is the topology node id; DPID the OpenFlow datapath id.
+	ID   string
+	DPID uint64
+
+	// Down marks a failed switch: it drops all packets and emits no
+	// control traffic.
+	Down bool
+
+	table []*Entry
+
+	onPacketIn    PacketInFunc
+	onFlowRemoved FlowRemovedFunc
+}
+
+// New creates a switch with the given identity.
+func New(id string, dpid uint64) *Switch {
+	return &Switch{ID: id, DPID: dpid}
+}
+
+// OnPacketIn registers the table-miss callback.
+func (s *Switch) OnPacketIn(fn PacketInFunc) { s.onPacketIn = fn }
+
+// OnFlowRemoved registers the expiry callback.
+func (s *Switch) OnFlowRemoved(fn FlowRemovedFunc) { s.onFlowRemoved = fn }
+
+// TableSize returns the number of installed entries.
+func (s *Switch) TableSize() int { return len(s.table) }
+
+// Entries returns the installed entries (shared slice; treat as read-only).
+func (s *Switch) Entries() []*Entry { return s.table }
+
+// Install adds a rule to the flow table. Entries are kept sorted by
+// descending priority (stable for equal priorities, so the earliest
+// installed wins ties, matching common switch behavior).
+func (s *Switch) Install(e *Entry, now time.Duration) error {
+	if e == nil {
+		return fmt.Errorf("switchsim: nil entry")
+	}
+	e.Installed = now
+	e.LastMatched = now
+	s.table = append(s.table, e)
+	sort.SliceStable(s.table, func(i, j int) bool {
+		return s.table[i].Priority > s.table[j].Priority
+	})
+	return nil
+}
+
+// Delete removes all entries whose match equals m exactly, invoking the
+// FlowRemoved callback for entries that requested notification.
+func (s *Switch) Delete(m openflow.Match, now time.Duration) int {
+	var kept []*Entry
+	removed := 0
+	for _, e := range s.table {
+		if e.Match == m {
+			removed++
+			if e.NotifyRemoved && s.onFlowRemoved != nil {
+				s.onFlowRemoved(s, e, openflow.FlowRemovedReasonDelete, now)
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.table = kept
+	return removed
+}
+
+// Lookup finds the highest-priority entry matching the packet, without
+// updating counters.
+func (s *Switch) Lookup(pkt openflow.Match) (*Entry, bool) {
+	for _, e := range s.table {
+		if e.Match.Matches(pkt) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Process handles one packet arrival: on a hit it updates counters and
+// returns the entry; on a miss it fires the PacketIn callback and returns
+// ok=false. A down switch silently drops the packet.
+func (s *Switch) Process(pkt openflow.Match, inPort uint16, bytes uint64, now time.Duration) (*Entry, bool) {
+	if s.Down {
+		return nil, false
+	}
+	e, ok := s.Lookup(pkt)
+	if !ok {
+		if s.onPacketIn != nil {
+			s.onPacketIn(s, pkt, inPort, now)
+		}
+		return nil, false
+	}
+	e.LastMatched = now
+	e.Packets++
+	e.Bytes += bytes
+	return e, true
+}
+
+// Account adds additional traffic volume (e.g. the remaining packets of a
+// flow after its first packet) to an installed entry.
+func (s *Switch) Account(e *Entry, packets, bytes uint64, now time.Duration) {
+	if now > e.LastMatched {
+		e.LastMatched = now
+	}
+	e.Packets += packets
+	e.Bytes += bytes
+}
+
+// Sweep expires timed-out entries, firing FlowRemoved callbacks, and
+// returns how many entries were removed. Call it periodically from the
+// simulation clock.
+func (s *Switch) Sweep(now time.Duration) int {
+	if s.Down {
+		return 0
+	}
+	var kept []*Entry
+	removed := 0
+	for _, e := range s.table {
+		reason, dead := e.expired(now)
+		if !dead {
+			kept = append(kept, e)
+			continue
+		}
+		removed++
+		if e.NotifyRemoved && s.onFlowRemoved != nil {
+			s.onFlowRemoved(s, e, reason, now)
+		}
+	}
+	s.table = kept
+	return removed
+}
+
+// NextExpiry returns the earliest time at which some entry could expire,
+// or ok=false when no entry has a timeout armed.
+func (s *Switch) NextExpiry() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	consider := func(t time.Duration) {
+		if !found || t < best {
+			best = t
+			found = true
+		}
+	}
+	for _, e := range s.table {
+		if e.HardTimeout > 0 {
+			consider(e.Installed + e.HardTimeout)
+		}
+		if e.IdleTimeout > 0 {
+			consider(e.LastMatched + e.IdleTimeout)
+		}
+	}
+	return best, found
+}

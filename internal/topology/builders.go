@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Default link latencies used by the builders. The absolute values are not
+// load-bearing (the paper's figures depend on relative shifts), but they
+// are in the range reported for data center fabrics.
+const (
+	HostLinkLatency = 100 * time.Microsecond
+	ToRLinkLatency  = 200 * time.Microsecond
+	AggLinkLatency  = 300 * time.Microsecond
+)
+
+func mustAddr(a, b, c, d byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{a, b, c, d})
+}
+
+// ServiceNodes are the special-purpose data center service hosts present
+// in the lab topology. FlowDiff's application-group construction treats
+// them as boundaries (paper §III-B).
+var ServiceNodes = []NodeID{"NFS", "DNS", "DHCP", "NTP"}
+
+// Lab builds the paper's testbed (§V): 25 physical servers S1..S25, five
+// virtual machines V1..V5, seven OpenFlow switches sw1..sw7 and two legacy
+// switches leg1/leg2 wired so all server-to-server traffic crosses at
+// least one OpenFlow switch, plus the shared service hosts (NFS, DNS,
+// DHCP, NTP) attached near the core.
+func Lab() (*Topology, error) {
+	t := New()
+	// Switches: sw1 is the core; sw2..sw7 are edge switches.
+	for i := 1; i <= 7; i++ {
+		if _, err := t.AddSwitch(NodeID(fmt.Sprintf("sw%d", i)), true); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range []NodeID{"leg1", "leg2"} {
+		if _, err := t.AddSwitch(id, false); err != nil {
+			return nil, err
+		}
+	}
+	for i := 2; i <= 7; i++ {
+		if _, err := t.Connect("sw1", NodeID(fmt.Sprintf("sw%d", i)), ToRLinkLatency); err != nil {
+			return nil, err
+		}
+	}
+	// Legacy switches hang off sw6 and sw7; their traffic still crosses an
+	// OpenFlow switch on any inter-group path.
+	if _, err := t.Connect("sw6", "leg1", ToRLinkLatency); err != nil {
+		return nil, err
+	}
+	if _, err := t.Connect("sw7", "leg2", ToRLinkLatency); err != nil {
+		return nil, err
+	}
+
+	attach := func(host NodeID, addr netip.Addr, sw NodeID) error {
+		if _, err := t.AddHost(host, addr); err != nil {
+			return err
+		}
+		_, err := t.Connect(sw, host, HostLinkLatency)
+		return err
+	}
+
+	// Physical servers S1..S25, five per edge switch sw2..sw5, three on
+	// sw6, and one behind each legacy switch (at most one server per
+	// legacy switch keeps the paper's invariant that any server pair
+	// crosses at least one OpenFlow switch).
+	edgeOf := func(i int) NodeID {
+		switch {
+		case i <= 5:
+			return "sw2"
+		case i <= 10:
+			return "sw3"
+		case i <= 15:
+			return "sw4"
+		case i <= 20:
+			return "sw5"
+		case i <= 23:
+			return "sw6"
+		case i == 24:
+			return "leg1"
+		default:
+			return "leg2"
+		}
+	}
+	for i := 1; i <= 25; i++ {
+		id := NodeID(fmt.Sprintf("S%d", i))
+		if err := attach(id, mustAddr(10, 0, 1, byte(i)), edgeOf(i)); err != nil {
+			return nil, err
+		}
+	}
+	// Virtual machines V1..V5 behind sw6/sw7.
+	for i := 1; i <= 5; i++ {
+		sw := NodeID("sw6")
+		if i > 3 {
+			sw = "sw7"
+		}
+		id := NodeID(fmt.Sprintf("V%d", i))
+		if err := attach(id, mustAddr(10, 0, 2, byte(i)), sw); err != nil {
+			return nil, err
+		}
+	}
+	// Shared service hosts at the core.
+	for i, id := range ServiceNodes {
+		if err := attach(id, mustAddr(10, 0, 0, byte(i+1)), "sw1"); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Tree320 builds the paper's scalability topology (§V): 320 servers in 16
+// racks of 20, one ToR per rack, every four ToRs dual-homed to a pair of
+// aggregation switches (8 aggs total), and all aggs connected to two core
+// switches. Server host ids are "h<rack>-<n>", addresses 10.<rack>.0.<n>.
+func Tree320() (*Topology, error) {
+	return tree320(true)
+}
+
+// Tree320Hybrid is the incremental deployment of §VI: the same fabric but
+// with only the aggregation and core layers OpenFlow-enabled — the ToR
+// switches are legacy and produce no control traffic, so FlowDiff's
+// measurement granularity coarsens from links to aggregation-level paths.
+func Tree320Hybrid() (*Topology, error) {
+	return tree320(false)
+}
+
+func tree320(torOpenFlow bool) (*Topology, error) {
+	const (
+		racks          = 16
+		serversPerRack = 20
+		aggPairs       = 4
+	)
+	t := New()
+	for c := 1; c <= 2; c++ {
+		if _, err := t.AddSwitch(NodeID(fmt.Sprintf("core%d", c)), true); err != nil {
+			return nil, err
+		}
+	}
+	for a := 1; a <= 2*aggPairs; a++ {
+		id := NodeID(fmt.Sprintf("agg%d", a))
+		if _, err := t.AddSwitch(id, true); err != nil {
+			return nil, err
+		}
+		for c := 1; c <= 2; c++ {
+			if _, err := t.Connect(id, NodeID(fmt.Sprintf("core%d", c)), AggLinkLatency); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for r := 0; r < racks; r++ {
+		tor := NodeID(fmt.Sprintf("tor%02d", r+1))
+		if _, err := t.AddSwitch(tor, torOpenFlow); err != nil {
+			return nil, err
+		}
+		group := r / 4 // four ToRs per agg pair
+		for _, a := range []int{2*group + 1, 2*group + 2} {
+			if _, err := t.Connect(tor, NodeID(fmt.Sprintf("agg%d", a)), ToRLinkLatency); err != nil {
+				return nil, err
+			}
+		}
+		for s := 1; s <= serversPerRack; s++ {
+			host := NodeID(fmt.Sprintf("h%02d-%02d", r+1, s))
+			if _, err := t.AddHost(host, mustAddr(10, byte(r+1), 0, byte(s))); err != nil {
+				return nil, err
+			}
+			if _, err := t.Connect(tor, host, HostLinkLatency); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,284 @@
+package topology
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func buildLine(t *testing.T) *Topology {
+	t.Helper()
+	// h1 - sw1 - sw2 - sw3 - h2, with a legacy switch spur.
+	topo := New()
+	mustSwitch := func(id NodeID, of bool) {
+		if _, err := topo.AddSwitch(id, of); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustHost := func(id NodeID, addr netip.Addr) {
+		if _, err := topo.AddHost(id, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink := func(a, b NodeID) {
+		if _, err := topo.Connect(a, b, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSwitch("sw1", true)
+	mustSwitch("sw2", true)
+	mustSwitch("sw3", true)
+	mustSwitch("leg1", false)
+	mustHost("h1", mustAddr(10, 0, 0, 1))
+	mustHost("h2", mustAddr(10, 0, 0, 2))
+	mustHost("h3", mustAddr(10, 0, 0, 3))
+	mustLink("h1", "sw1")
+	mustLink("sw1", "sw2")
+	mustLink("sw2", "sw3")
+	mustLink("sw3", "h2")
+	mustLink("sw2", "leg1")
+	mustLink("leg1", "h3")
+	return topo
+}
+
+func TestPathEndpointsAndOrder(t *testing.T) {
+	topo := buildLine(t)
+	hops, err := topo.Path("h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{"h1", "sw1", "sw2", "sw3", "h2"}
+	if len(hops) != len(want) {
+		t.Fatalf("path length = %d, want %d (%v)", len(hops), len(want), hops)
+	}
+	for i, id := range want {
+		if hops[i].Node != id {
+			t.Errorf("hop %d = %q, want %q", i, hops[i].Node, id)
+		}
+	}
+	if hops[0].InPort != 0 || hops[len(hops)-1].OutPort != 0 {
+		t.Error("endpoint ports should be 0")
+	}
+	// Interior hops must have both ports set.
+	for _, h := range hops[1 : len(hops)-1] {
+		if h.InPort == 0 || h.OutPort == 0 {
+			t.Errorf("interior hop %q missing ports: %+v", h.Node, h)
+		}
+	}
+}
+
+func TestPathSelfAndErrors(t *testing.T) {
+	topo := buildLine(t)
+	hops, err := topo.Path("h1", "h1")
+	if err != nil || len(hops) != 1 {
+		t.Errorf("self path = %v, %v", hops, err)
+	}
+	if _, err := topo.Path("h1", "nope"); err == nil {
+		t.Error("want error for unknown destination")
+	}
+	if _, err := topo.Path("nope", "h1"); err == nil {
+		t.Error("want error for unknown source")
+	}
+}
+
+func TestPathAvoidsDownLinksAndNodes(t *testing.T) {
+	topo := buildLine(t)
+	l, ok := topo.LinkBetween("sw1", "sw2")
+	if !ok {
+		t.Fatal("missing link")
+	}
+	l.Down = true
+	if _, err := topo.Path("h1", "h2"); err == nil {
+		t.Error("want error when the only path has a down link")
+	}
+	l.Down = false
+	n, _ := topo.Node("sw2")
+	n.Down = true
+	if _, err := topo.Path("h1", "h2"); err == nil {
+		t.Error("want error when a transit switch is down")
+	}
+}
+
+func TestHostsDoNotForwardTransit(t *testing.T) {
+	// h1 - sw1 - h3, h3 - sw2 - h2: no switch-only path h1->h2.
+	topo := New()
+	topo.AddSwitch("sw1", true)
+	topo.AddSwitch("sw2", true)
+	topo.AddHost("h1", mustAddr(10, 0, 0, 1))
+	topo.AddHost("h2", mustAddr(10, 0, 0, 2))
+	topo.AddHost("h3", mustAddr(10, 0, 0, 3))
+	topo.Connect("h1", "sw1", time.Millisecond)
+	topo.Connect("sw1", "h3", time.Millisecond)
+	topo.Connect("h3", "sw2", time.Millisecond)
+	topo.Connect("sw2", "h2", time.Millisecond)
+	if _, err := topo.Path("h1", "h2"); err == nil {
+		t.Error("path through an intermediate host should be rejected")
+	}
+}
+
+func TestSwitchHopsFiltersLegacy(t *testing.T) {
+	topo := buildLine(t)
+	hops, err := topo.Path("h1", "h3") // crosses leg1
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := topo.SwitchHops(hops)
+	for _, h := range sw {
+		n, _ := topo.Node(h.Node)
+		if !n.OpenFlow {
+			t.Errorf("SwitchHops included non-OpenFlow node %q", h.Node)
+		}
+	}
+	if len(sw) != 2 { // sw1, sw2
+		t.Errorf("got %d OpenFlow hops, want 2 (%v)", len(sw), sw)
+	}
+}
+
+func TestDuplicateAndBadInserts(t *testing.T) {
+	topo := New()
+	if _, err := topo.AddHost("h1", mustAddr(10, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddHost("h1", mustAddr(10, 0, 0, 2)); err == nil {
+		t.Error("want error on duplicate node id")
+	}
+	if _, err := topo.AddHost("h2", mustAddr(10, 0, 0, 1)); err == nil {
+		t.Error("want error on duplicate address")
+	}
+	if _, err := topo.AddHost("h3", netip.MustParseAddr("::1")); err == nil {
+		t.Error("want error on IPv6 host address")
+	}
+	topo.AddHost("h4", mustAddr(10, 0, 0, 4))
+	if _, err := topo.Connect("h1", "h4", 0); err == nil {
+		t.Error("want error on host-host link")
+	}
+	if _, err := topo.Connect("h1", "missing", 0); err == nil {
+		t.Error("want error on unknown endpoint")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	topo := buildLine(t)
+	n, ok := topo.HostByAddr(mustAddr(10, 0, 0, 2))
+	if !ok || n.ID != "h2" {
+		t.Errorf("HostByAddr = %v, %v", n, ok)
+	}
+	sw, _ := topo.Node("sw1")
+	got, ok := topo.SwitchByDPID(sw.DPID)
+	if !ok || got.ID != "sw1" {
+		t.Errorf("SwitchByDPID = %v, %v", got, ok)
+	}
+	if _, ok := topo.HostByAddr(mustAddr(9, 9, 9, 9)); ok {
+		t.Error("unknown address should not resolve")
+	}
+}
+
+func TestLabTopology(t *testing.T) {
+	topo, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Hosts()); got != 25+5+len(ServiceNodes) {
+		t.Errorf("host count = %d, want %d", got, 25+5+len(ServiceNodes))
+	}
+	var of, legacy int
+	for _, s := range topo.Switches() {
+		if s.OpenFlow {
+			of++
+		} else {
+			legacy++
+		}
+	}
+	if of != 7 || legacy != 2 {
+		t.Errorf("switches = %d OpenFlow + %d legacy, want 7 + 2", of, legacy)
+	}
+	// The paper's invariant: all server-to-server traffic passes through
+	// at least one OpenFlow switch.
+	hosts := topo.Hosts()
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			hops, err := topo.Path(hosts[i].ID, hosts[j].ID)
+			if err != nil {
+				t.Fatalf("no path %s->%s: %v", hosts[i].ID, hosts[j].ID, err)
+			}
+			if len(topo.SwitchHops(hops)) == 0 {
+				t.Errorf("path %s->%s crosses no OpenFlow switch", hosts[i].ID, hosts[j].ID)
+			}
+		}
+	}
+}
+
+func TestTree320Topology(t *testing.T) {
+	topo, err := Tree320()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Hosts()); got != 320 {
+		t.Errorf("host count = %d, want 320", got)
+	}
+	if got := len(topo.Switches()); got != 16+8+2 {
+		t.Errorf("switch count = %d, want 26", got)
+	}
+	// Cross-rack path must traverse ToR-agg(-core-agg)-ToR.
+	hops, err := topo.Path("h01-01", "h16-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.SwitchHops(hops)) < 3 {
+		t.Errorf("cross-pod path too short: %v", hops)
+	}
+	// Same-rack path stays under the ToR.
+	hops, err = topo.Path("h01-01", "h01-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 3 {
+		t.Errorf("same-rack path length = %d, want 3 (%v)", len(hops), hops)
+	}
+}
+
+func TestPathDeterministic(t *testing.T) {
+	topo, err := Tree320()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hosts := topo.Hosts()
+		a := hosts[rng.Intn(len(hosts))].ID
+		b := hosts[rng.Intn(len(hosts))].ID
+		p1, err1 := topo.Path(a, b)
+		p2, err2 := topo.Path(a, b)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLatency(t *testing.T) {
+	topo := buildLine(t)
+	hops, err := topo.Path("h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.PathLatency(hops); got != 4*time.Millisecond {
+		t.Errorf("PathLatency = %v, want 4ms", got)
+	}
+}

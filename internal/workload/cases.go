@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"flowdiff/internal/topology"
+)
+
+// Default per-tier processing times. The 60 ms app-tier service time is
+// the ground truth the paper's Figure 10 recovers from the delay
+// distribution peak.
+const (
+	WebProcessing   = 20 * time.Millisecond
+	AppProcessing   = 60 * time.Millisecond
+	DBProcessing    = 30 * time.Millisecond
+	SlaveProcessing = 10 * time.Millisecond
+	PortSlaveDB     = 3307
+)
+
+// chain builds a linear multi-tier spec: client -> web -> app -> db
+// (-> slave when five hosts are given).
+func chain(name string, interarrival time.Duration, hosts ...topology.NodeID) (Spec, error) {
+	if len(hosts) != 4 && len(hosts) != 5 {
+		return Spec{}, fmt.Errorf("workload: chain %q needs 4 or 5 hosts, got %d", name, len(hosts))
+	}
+	s := Spec{
+		Name:         name,
+		Client:       hosts[0],
+		Interarrival: interarrival,
+		Tiers: []Tier{
+			{Hosts: []topology.NodeID{hosts[1]}, Port: PortWeb, Processing: WebProcessing},
+			{Hosts: []topology.NodeID{hosts[2]}, Port: PortApp, Processing: AppProcessing},
+			{Hosts: []topology.NodeID{hosts[3]}, Port: PortDB, Processing: DBProcessing},
+		},
+	}
+	if len(hosts) == 5 {
+		s.Tiers = append(s.Tiers, Tier{
+			Hosts: []topology.NodeID{hosts[4]}, Port: PortSlaveDB, Processing: SlaveProcessing,
+		})
+	}
+	return s, nil
+}
+
+// CaseSpecs returns the application deployment of Table II for case
+// number 1..5 with default workload parameters. Case 5 defaults to
+// P(500,500) R(0,0); use Case5Specs for other settings.
+func CaseSpecs(num int) ([]Spec, error) {
+	ia := 200 * time.Millisecond
+	switch num {
+	case 1:
+		a, err := chain("rubbis-1", ia, "S25", "S13", "S4", "S14", "S15")
+		if err != nil {
+			return nil, err
+		}
+		b, err := chain("rubbis-2", ia, "S24", "S12", "S10", "S20")
+		if err != nil {
+			return nil, err
+		}
+		c, err := chain("oscommerce", ia, "S23", "S7", "S10", "S20")
+		if err != nil {
+			return nil, err
+		}
+		return []Spec{a, b, c}, nil
+	case 2:
+		a, err := chain("rubbis", ia, "S25", "S12", "S4", "S14", "S15")
+		if err != nil {
+			return nil, err
+		}
+		b, err := chain("oscommerce", ia, "S23", "S7", "S10", "S20")
+		if err != nil {
+			return nil, err
+		}
+		return []Spec{a, b}, nil
+	case 3:
+		a, err := chain("rubbis", ia, "S25", "S12", "S4", "S14", "S15")
+		if err != nil {
+			return nil, err
+		}
+		b, err := chain("rubbos", ia, "S24", "S12", "S10", "S20")
+		if err != nil {
+			return nil, err
+		}
+		return []Spec{a, b}, nil
+	case 4:
+		a, err := chain("rubbis", ia, "S25", "S12", "S4", "S14", "S15")
+		if err != nil {
+			return nil, err
+		}
+		b, err := chain("petstore", ia, "S24", "S16", "S25", "S19")
+		if err != nil {
+			return nil, err
+		}
+		return []Spec{a, b}, nil
+	case 5:
+		return Case5Specs(Case5Params{MeanA: 500, MeanB: 500}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown case %d (want 1..5)", num)
+	}
+}
+
+// Case5Params parameterizes the custom three-tier deployment of Table II
+// case 5, following the paper's P(x,y) / R(m,n) notation: x and y are the
+// Poisson workload means of the two chains sharing app server S3, and m/n
+// the connection-reuse percentages at S3 for requests arriving via S1-S3
+// and S2-S3.
+type Case5Params struct {
+	MeanA, MeanB   int     // P(x, y): relative request volumes
+	ReuseA, ReuseB float64 // R(m, n) as fractions in [0, 1]
+	// Duration over which MeanA/MeanB requests should arrive (defaults
+	// to 45 minutes, the paper's logging interval).
+	Duration time.Duration
+	// RequestBytes overrides the per-request flow size (0 keeps the
+	// default). Larger requests make loss-driven byte inflation visible
+	// (Figure 9a).
+	RequestBytes uint64
+}
+
+// Case5Specs builds the case-5 deployment:
+//
+//	S22 (client) — S1 (web) — S3 (app) — S8 (db)
+//	S21 (client) — S2 (web) — S3 (app) — S8 (db)
+//	S23 (client) — S5 (web) — S11/S17 (app, skewed) — S18/S6 (db, pinned)
+func Case5Specs(p Case5Params) []Spec {
+	if p.Duration <= 0 {
+		p.Duration = 45 * time.Minute
+	}
+	iaOf := func(mean int) time.Duration {
+		if mean <= 0 {
+			mean = 1
+		}
+		return p.Duration / time.Duration(mean)
+	}
+	a := Spec{
+		Name:         "custom-a",
+		Client:       "S22",
+		RequestBytes: p.RequestBytes,
+		Interarrival: iaOf(p.MeanA),
+		Tiers: []Tier{
+			{Hosts: []topology.NodeID{"S1"}, Port: PortWeb, Processing: WebProcessing},
+			{Hosts: []topology.NodeID{"S3"}, Port: PortApp, Processing: AppProcessing, ReuseProb: 0},
+			{Hosts: []topology.NodeID{"S8"}, Port: PortDB, Processing: DBProcessing},
+		},
+	}
+	// ReuseProb applies to the connection the app tier opens toward the
+	// db tier, so R(m, n) lands on tier index 1.
+	a.Tiers[1].ReuseProb = p.ReuseA
+	b := a
+	b.Name = "custom-b"
+	b.Client = "S21"
+	b.Interarrival = iaOf(p.MeanB)
+	b.Tiers = append([]Tier(nil), a.Tiers...)
+	b.Tiers[0] = Tier{Hosts: []topology.NodeID{"S2"}, Port: PortWeb, Processing: WebProcessing}
+	b.Tiers[1] = Tier{Hosts: []topology.NodeID{"S3"}, Port: PortApp, Processing: AppProcessing, ReuseProb: p.ReuseB}
+	b.Tiers[2] = Tier{Hosts: []topology.NodeID{"S8"}, Port: PortDB, Processing: DBProcessing}
+
+	c := Spec{
+		Name:         "custom-c",
+		Client:       "S23",
+		RequestBytes: p.RequestBytes,
+		Interarrival: iaOf(500),
+		Tiers: []Tier{
+			{Hosts: []topology.NodeID{"S5"}, Port: PortWeb, Processing: WebProcessing},
+			{
+				Hosts: []topology.NodeID{"S11", "S17"}, Port: PortApp, Processing: AppProcessing,
+				// S5 balances non-uniformly across S11/S17, so the CI
+				// signature at S5 is unstable (paper §V-B).
+				Select:    SelectSkewed,
+				RouteNext: map[topology.NodeID]topology.NodeID{"S11": "S18", "S17": "S6"},
+			},
+			{Hosts: []topology.NodeID{"S18", "S6"}, Port: PortDB, Processing: DBProcessing},
+		},
+	}
+	return []Spec{a, b, c}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/stats"
+	"flowdiff/internal/topology"
+)
+
+// OnOffSpec describes one randomly placed three-tier application for the
+// scalability study (§V-C): every VM in a tier communicates with every VM
+// in the next tier, each pair following an ON/OFF pattern with lognormal
+// period lengths, and TCP connections reused with a fixed probability.
+type OnOffSpec struct {
+	Name string
+	// TierHosts lists the VMs of each tier.
+	TierHosts [][]topology.NodeID
+	// MeanOn/StdOn and MeanOff/StdOff parameterize the lognormal period
+	// lengths. The paper uses mean 100 ms, stddev 30 ms for both.
+	MeanOn, StdOn   time.Duration
+	MeanOff, StdOff time.Duration
+	// ReuseProb is the probability a pair reuses its TCP connection for
+	// the next ON burst (paper: 0.6).
+	ReuseProb float64
+	// FlowBytes is the volume sent per ON period (default 15000).
+	FlowBytes uint64
+}
+
+// OnOffApp drives the pairwise ON/OFF traffic of one OnOffSpec.
+type OnOffApp struct {
+	spec OnOffSpec
+	net  *simnet.Network
+	rng  *rand.Rand
+
+	pairs  []pairDriver
+	stopAt time.Duration
+	flows  int
+}
+
+type pairDriver struct {
+	src, dst topology.NodeID
+	dstPort  uint16
+	conn     flowlog.FlowKey
+	hasConn  bool
+	nextPort uint16
+}
+
+// AttachOnOff wires an ON/OFF application onto the network.
+func AttachOnOff(n *simnet.Network, spec OnOffSpec, seed int64) (*OnOffApp, error) {
+	if len(spec.TierHosts) < 2 {
+		return nil, fmt.Errorf("workload: onoff app %q needs at least 2 tiers", spec.Name)
+	}
+	if spec.MeanOn == 0 {
+		spec.MeanOn = 100 * time.Millisecond
+	}
+	if spec.StdOn == 0 {
+		spec.StdOn = 30 * time.Millisecond
+	}
+	if spec.MeanOff == 0 {
+		spec.MeanOff = 100 * time.Millisecond
+	}
+	if spec.StdOff == 0 {
+		spec.StdOff = 30 * time.Millisecond
+	}
+	if spec.FlowBytes == 0 {
+		spec.FlowBytes = 15000
+	}
+	a := &OnOffApp{spec: spec, net: n, rng: rand.New(rand.NewSource(seed))}
+	for t := 0; t+1 < len(spec.TierHosts); t++ {
+		for _, src := range spec.TierHosts[t] {
+			for _, dst := range spec.TierHosts[t+1] {
+				a.pairs = append(a.pairs, pairDriver{
+					src: src, dst: dst,
+					dstPort:  uint16(8000 + t),
+					nextPort: 25000,
+				})
+			}
+		}
+	}
+	if len(a.pairs) == 0 {
+		return nil, fmt.Errorf("workload: onoff app %q has no communicating pairs", spec.Name)
+	}
+	return a, nil
+}
+
+// Pairs returns the number of communicating VM pairs.
+func (a *OnOffApp) Pairs() int { return len(a.pairs) }
+
+// Flows returns how many flows the app has started so far.
+func (a *OnOffApp) Flows() int { return a.flows }
+
+// Run schedules the ON/OFF cycles of every pair over [from, until).
+func (a *OnOffApp) Run(from, until time.Duration) {
+	a.stopAt = until
+	for i := range a.pairs {
+		// Desynchronize pairs with a random initial offset.
+		offset := time.Duration(a.rng.Int63n(int64(a.spec.MeanOn + a.spec.MeanOff)))
+		a.cycle(i, from+offset)
+	}
+}
+
+// cycle runs one ON period for pair i starting at `at`, then schedules the
+// next cycle after the OFF period.
+func (a *OnOffApp) cycle(i int, at time.Duration) {
+	if at >= a.stopAt {
+		return
+	}
+	a.net.Eng.Schedule(at, func() {
+		a.burst(i)
+		on := stats.LogNormal(a.rng, a.spec.MeanOn, a.spec.StdOn)
+		off := stats.LogNormal(a.rng, a.spec.MeanOff, a.spec.StdOff)
+		a.cycle(i, a.net.Eng.Now()+on+off)
+	})
+}
+
+// burst sends one ON period's worth of traffic for pair i, reusing the
+// pair's TCP connection with probability ReuseProb.
+func (a *OnOffApp) burst(i int) {
+	p := &a.pairs[i]
+	src, ok := a.net.Topo.Node(p.src)
+	if !ok {
+		return
+	}
+	dst, ok := a.net.Topo.Node(p.dst)
+	if !ok {
+		return
+	}
+	if !p.hasConn || a.rng.Float64() >= a.spec.ReuseProb {
+		p.nextPort++
+		p.conn = flowlog.FlowKey{
+			Proto:   6,
+			Src:     src.Addr,
+			Dst:     dst.Addr,
+			SrcPort: p.nextPort,
+			DstPort: p.dstPort,
+		}
+		p.hasConn = true
+	}
+	a.flows++
+	a.net.StartFlow(a.net.Eng.Now(), simnet.Flow{Key: p.conn, Bytes: a.spec.FlowBytes})
+}
+
+// RandomThreeTier builds an OnOffSpec with tierSizes VMs per tier placed
+// on distinct random hosts of the topology (the paper's random placement
+// on the 320-server tree).
+func RandomThreeTier(topo *topology.Topology, rng *rand.Rand, name string, tierSizes []int, reuseProb float64) (OnOffSpec, error) {
+	hosts := topo.Hosts()
+	need := 0
+	for _, s := range tierSizes {
+		need += s
+	}
+	if need > len(hosts) {
+		return OnOffSpec{}, fmt.Errorf("workload: need %d hosts, topology has %d", need, len(hosts))
+	}
+	perm := rng.Perm(len(hosts))
+	idx := 0
+	tiers := make([][]topology.NodeID, len(tierSizes))
+	for t, size := range tierSizes {
+		for s := 0; s < size; s++ {
+			tiers[t] = append(tiers[t], hosts[perm[idx]].ID)
+			idx++
+		}
+	}
+	return OnOffSpec{Name: name, TierHosts: tiers, ReuseProb: reuseProb}, nil
+}

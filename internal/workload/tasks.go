@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/stats"
+	"flowdiff/internal/topology"
+)
+
+// Step is one flow of an operator-task script.
+type Step struct {
+	Src, Dst topology.NodeID
+	// SrcPort 0 means "draw a fresh ephemeral port each run" (the '*' of
+	// Figure 4).
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+	Bytes   uint64
+	// Gap is the nominal delay after the previous step; each run jitters
+	// it by ±20%.
+	Gap time.Duration
+	// SkipProb is the probability the step is absent in a given run
+	// (caching, configuration differences).
+	SkipProb float64
+	// MaxRepeat adds up to MaxRepeat extra back-to-back occurrences of
+	// the step (retransmissions, chunked transfers — the repeated a/b
+	// flows of Figure 4).
+	MaxRepeat int
+}
+
+// TaskScript is a named sequence of flows an operator task produces.
+type TaskScript struct {
+	Name  string
+	Steps []Step
+}
+
+// VMMigration scripts the live migration of Figure 4: the source host
+// syncs the VM image with NFS (port 2049), negotiates with the target on
+// port 8002, transfers state, and the target re-syncs with NFS.
+func VMMigration(src, dst, nfs topology.NodeID) TaskScript {
+	return TaskScript{
+		Name: "vm-migration",
+		Steps: []Step{
+			{Src: src, Dst: nfs, DstPort: 2049, Proto: 6, Bytes: 64 << 10, Gap: 20 * time.Millisecond, MaxRepeat: 2}, // a
+			{Src: nfs, Dst: src, DstPort: 2049, Proto: 6, Bytes: 8 << 10, Gap: 15 * time.Millisecond, MaxRepeat: 2},  // b
+			{Src: src, SrcPort: 8002, Dst: dst, DstPort: 8002, Proto: 6, Bytes: 4 << 10, Gap: 25 * time.Millisecond}, // c
+			{Src: dst, SrcPort: 8002, Dst: src, DstPort: 8002, Proto: 6, Bytes: 4 << 10, Gap: 10 * time.Millisecond}, // d
+			{Src: dst, Dst: nfs, DstPort: 2049, Proto: 6, Bytes: 32 << 10, Gap: 30 * time.Millisecond},               // e
+			{Src: nfs, Dst: dst, DstPort: 2049, Proto: 6, Bytes: 8 << 10, Gap: 15 * time.Millisecond},                // f
+		},
+	}
+}
+
+// OSFlavor selects the VM-startup flow sequence. Amazon AMI instances
+// share a base OS, so their startup sequences are near-identical to each
+// other (and cross-match under IP masking), while Ubuntu differs.
+type OSFlavor int
+
+// VM image flavors used in the EC2 experiment (Table III).
+const (
+	FlavorAMI OSFlavor = iota
+	FlavorUbuntu
+)
+
+// String names the flavor.
+func (f OSFlavor) String() string {
+	switch f {
+	case FlavorAMI:
+		return "ami"
+	case FlavorUbuntu:
+		return "ubuntu"
+	default:
+		return fmt.Sprintf("OSFlavor(%d)", int(f))
+	}
+}
+
+// VMStartup scripts a VM boot: DHCP, name service, time sync, and
+// repository traffic, with a flavor-specific sequence.
+func VMStartup(vm topology.NodeID, flavor OSFlavor, dhcp, dns, ntp, repo topology.NodeID) TaskScript {
+	return VMStartupVariant(vm, flavor, 0, dhcp, dns, ntp, repo)
+}
+
+// VMStartupVariant is VMStartup with a per-instance personality: AMI
+// instances share the same base OS (same step set) but differ in the
+// order of their middle startup steps depending on installed packages —
+// which is why, in Table III, masked automata of AMI VMs only
+// occasionally cross-match. variant rotates the middle steps; it is
+// ignored for Ubuntu.
+func VMStartupVariant(vm topology.NodeID, flavor OSFlavor, variant int, dhcp, dns, ntp, repo topology.NodeID) TaskScript {
+	switch flavor {
+	case FlavorUbuntu:
+		return TaskScript{
+			Name: "vm-startup-ubuntu",
+			Steps: []Step{
+				{Src: vm, SrcPort: 68, Dst: dhcp, DstPort: 67, Proto: 17, Bytes: 600, Gap: 300 * time.Millisecond},
+				{Src: vm, Dst: dns, DstPort: 53, Proto: 17, Bytes: 120, Gap: 500 * time.Millisecond, MaxRepeat: 1},
+				{Src: vm, Dst: repo, DstPort: 80, Proto: 6, Bytes: 48 << 10, Gap: 600 * time.Millisecond},
+				{Src: vm, Dst: repo, DstPort: 443, Proto: 6, Bytes: 16 << 10, Gap: 400 * time.Millisecond, SkipProb: 0.3},
+				{Src: vm, Dst: ntp, DstPort: 123, Proto: 17, Bytes: 90, Gap: 500 * time.Millisecond},
+			},
+		}
+	default:
+		// Shared AMI backbone: DHCP first, repo fetch last; the middle
+		// steps (DNS, NetBIOS, NTP) are ordered per instance variant, and
+		// steps may repeat — so a foreign AMI's sequence occasionally
+		// realizes another instance's order.
+		dnsStep := Step{Src: vm, Dst: dns, DstPort: 53, Proto: 17, Bytes: 120, Gap: 450 * time.Millisecond, MaxRepeat: 1}
+		nbStep := Step{Src: vm, SrcPort: 137, Dst: dns, DstPort: 137, Proto: 17, Bytes: 200, Gap: 450 * time.Millisecond, MaxRepeat: 1}
+		ntpStep := Step{Src: vm, Dst: ntp, DstPort: 123, Proto: 17, Bytes: 90, Gap: 450 * time.Millisecond, MaxRepeat: 1}
+		orders := [][]Step{
+			{dnsStep, nbStep, ntpStep},
+			{nbStep, dnsStep, ntpStep},
+			{dnsStep, ntpStep, nbStep},
+		}
+		if variant < 0 {
+			variant = -variant
+		}
+		rotated := orders[variant%len(orders)]
+		steps := []Step{
+			{Src: vm, SrcPort: 68, Dst: dhcp, DstPort: 67, Proto: 17, Bytes: 600, Gap: 300 * time.Millisecond},
+			// An occasional early resolver lookup right after DHCP
+			// (cold cache). Because all AMI instances share it, a
+			// foreign AMI's startup occasionally realizes another
+			// instance's flow order — the source of Table III's rare
+			// masked cross-matches between same-base-OS VMs.
+			{Src: vm, Dst: dns, DstPort: 53, Proto: 17, Bytes: 120, Gap: 400 * time.Millisecond, SkipProb: 0.8},
+		}
+		steps = append(steps, rotated...)
+		// The repo fetch always happens (cloud-init pulls packages on
+		// every boot), so every startup ends on the same flow.
+		steps = append(steps, Step{Src: vm, Dst: repo, DstPort: 80, Proto: 6, Bytes: 32 << 10, Gap: 500 * time.Millisecond})
+		return TaskScript{Name: "vm-startup-ami", Steps: steps}
+	}
+}
+
+// SoftwareUpgrade scripts a package upgrade on a host (§III-D lists
+// software upgrades among the operator tasks FlowDiff should recognize):
+// repository metadata refresh, chunked package downloads, and a
+// post-install registration call to the management service.
+func SoftwareUpgrade(host, repo, mgmt topology.NodeID) TaskScript {
+	return TaskScript{
+		Name: "software-upgrade",
+		Steps: []Step{
+			{Src: host, Dst: repo, DstPort: 80, Proto: 6, Bytes: 8 << 10, Gap: 400 * time.Millisecond},                 // metadata
+			{Src: host, Dst: repo, DstPort: 80, Proto: 6, Bytes: 256 << 10, Gap: 600 * time.Millisecond, MaxRepeat: 3}, // packages
+			{Src: host, Dst: mgmt, DstPort: 8443, Proto: 6, Bytes: 2 << 10, Gap: 700 * time.Millisecond},               // report
+		},
+	}
+}
+
+// VMStop scripts a VM shutdown: final state sync to NFS and a release
+// notification to DHCP.
+func VMStop(vm, nfs, dhcp topology.NodeID) TaskScript {
+	return TaskScript{
+		Name: "vm-stop",
+		Steps: []Step{
+			{Src: vm, Dst: nfs, DstPort: 2049, Proto: 6, Bytes: 32 << 10, Gap: 20 * time.Millisecond, MaxRepeat: 1},
+			{Src: vm, SrcPort: 68, Dst: dhcp, DstPort: 67, Proto: 17, Bytes: 300, Gap: 30 * time.Millisecond},
+		},
+	}
+}
+
+// MountNFS scripts attaching network storage: portmap then NFS traffic.
+func MountNFS(host, nfs topology.NodeID) TaskScript {
+	return TaskScript{
+		Name: "mount-nfs",
+		Steps: []Step{
+			{Src: host, Dst: nfs, DstPort: 111, Proto: 17, Bytes: 200, Gap: 10 * time.Millisecond},
+			{Src: host, Dst: nfs, DstPort: 2049, Proto: 6, Bytes: 4 << 10, Gap: 20 * time.Millisecond, MaxRepeat: 1},
+		},
+	}
+}
+
+// UnmountNFS scripts detaching network storage.
+func UnmountNFS(host, nfs topology.NodeID) TaskScript {
+	return TaskScript{
+		Name: "unmount-nfs",
+		Steps: []Step{
+			{Src: host, Dst: nfs, DstPort: 2049, Proto: 6, Bytes: 1 << 10, Gap: 10 * time.Millisecond},
+			{Src: host, Dst: nfs, DstPort: 111, Proto: 17, Bytes: 150, Gap: 15 * time.Millisecond},
+		},
+	}
+}
+
+// TaskRun is one execution of a task: the flows in order with their start
+// offsets.
+type TaskRun struct {
+	Task  string
+	Start time.Duration
+	Flows []flowlog.FlowKey
+	// Times holds each flow's scheduled start (parallel to Flows).
+	Times []time.Duration
+	// Bytes holds each flow's volume (parallel to Flows).
+	Bytes []uint64
+}
+
+// GenerateTaskRun rolls one execution of the script — per-run gap jitter,
+// optional-step skipping, step repetition, fresh ephemeral ports — and
+// returns the flow sequence with start times, without touching a network.
+// Use ExecuteTask to also inject the flows into a simulation.
+func GenerateTaskRun(topo *topology.Topology, at time.Duration, script TaskScript, rng *rand.Rand) (TaskRun, error) {
+	run := TaskRun{Task: script.Name, Start: at}
+	cur := at
+	ephemeral := uint16(30000 + rng.Intn(20000))
+	for _, st := range script.Steps {
+		if st.SkipProb > 0 && rng.Float64() < st.SkipProb {
+			continue
+		}
+		repeats := 1
+		if st.MaxRepeat > 0 {
+			repeats += rng.Intn(st.MaxRepeat + 1)
+		}
+		for r := 0; r < repeats; r++ {
+			src, ok := topo.Node(st.Src)
+			if !ok {
+				return run, fmt.Errorf("workload: task %q references unknown host %q", script.Name, st.Src)
+			}
+			dst, ok := topo.Node(st.Dst)
+			if !ok {
+				return run, fmt.Errorf("workload: task %q references unknown host %q", script.Name, st.Dst)
+			}
+			sp := st.SrcPort
+			if sp == 0 {
+				ephemeral++
+				sp = ephemeral
+			}
+			key := flowlog.FlowKey{
+				Proto: st.Proto, Src: src.Addr, Dst: dst.Addr,
+				SrcPort: sp, DstPort: st.DstPort,
+			}
+			cur += stats.Jitter(rng, st.Gap, 0.2)
+			run.Flows = append(run.Flows, key)
+			run.Times = append(run.Times, cur)
+			run.Bytes = append(run.Bytes, st.Bytes)
+		}
+	}
+	return run, nil
+}
+
+// ExecuteTask generates one run of the script and schedules its flows on
+// the network starting at `at`.
+func ExecuteTask(n *simnet.Network, at time.Duration, script TaskScript, rng *rand.Rand) (TaskRun, error) {
+	run, err := GenerateTaskRun(n.Topo, at, script, rng)
+	if err != nil {
+		return run, err
+	}
+	for i, key := range run.Flows {
+		n.StartFlow(run.Times[i], simnet.Flow{Key: key, Bytes: run.Bytes[i]})
+	}
+	return run, nil
+}

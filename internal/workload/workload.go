@@ -1,0 +1,311 @@
+// Package workload drives application traffic through the simulated data
+// center: multi-tier applications with Poisson request arrivals,
+// per-tier processing delays and connection reuse (the paper's P(x,y) /
+// R(m,n) parameterization from §V-B), ON/OFF background pairs for the
+// scalability study, and scripted operator tasks (VM startup, migration,
+// …) used to train and test task signatures.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/stats"
+	"flowdiff/internal/topology"
+)
+
+// Well-known service ports used by the application model.
+const (
+	PortWeb uint16 = 80
+	PortApp uint16 = 8000
+	PortDB  uint16 = 3306
+)
+
+// Selection chooses how a tier picks the next-tier server for a request.
+type Selection int
+
+// Selection policies.
+const (
+	// SelectRoundRobin cycles through next-tier hosts evenly — a linear
+	// decision logic that yields a stable component-interaction signature.
+	SelectRoundRobin Selection = iota
+	// SelectSkewed prefers the first next-tier host 80% of the time — a
+	// non-uniform load balancer that makes CI unstable (paper §V-B).
+	SelectSkewed
+)
+
+// Tier is one layer of a multi-tier application.
+type Tier struct {
+	// Hosts are the servers of this tier.
+	Hosts []topology.NodeID
+	// Port is the tier's service port.
+	Port uint16
+	// Processing is the per-request service time before the dependent
+	// flow to the next tier is issued.
+	Processing time.Duration
+	// ReuseProb is the probability that the outgoing connection to the
+	// next tier reuses an established 5-tuple instead of opening a new
+	// one (the paper's R(m,n)).
+	ReuseProb float64
+	// Select picks the next-tier host.
+	Select Selection
+	// RouteNext, when non-nil, pins the next-tier destination per
+	// current-tier host, overriding Select (models per-branch wiring such
+	// as Table II case 5, where app server S11 always uses db S18 and S17
+	// always uses S6).
+	RouteNext map[topology.NodeID]topology.NodeID
+}
+
+// Spec describes a multi-tier application group.
+type Spec struct {
+	Name string
+	// Client is the host emulating end users.
+	Client topology.NodeID
+	// Tiers from front (web) to back (db).
+	Tiers []Tier
+	// Interarrival is the mean of the exponential time between client
+	// requests.
+	Interarrival time.Duration
+	// RequestBytes is the flow size used for requests (default 2 KB).
+	RequestBytes uint64
+	// Responses, when set, sends a reverse flow back to each request's
+	// sender once the receiving tier has processed it, doubling the
+	// connectivity graph with response edges as real request/response
+	// protocols do.
+	Responses bool
+	// ResponseBytes is the flow size used for responses (default 8 KB).
+	ResponseBytes uint64
+}
+
+// App is a running application attached to a network.
+type App struct {
+	Spec Spec
+
+	net *simnet.Network
+	rng *rand.Rand
+
+	nextPort  uint16
+	conns     map[connKey]flowlog.FlowKey
+	rrCounter map[int]int
+
+	// overhead is extra per-host processing delay injected by faults
+	// (logging misconfiguration, CPU hog).
+	overhead map[topology.NodeID]time.Duration
+	// crashed hosts accept flows but never produce dependent flows.
+	crashed map[topology.NodeID]bool
+	// blockedPorts suppresses flow creation toward (host, port) — an
+	// egress firewall rule.
+	blockedPorts map[blockKey]bool
+
+	completed int
+	stopAt    time.Duration
+}
+
+type connKey struct {
+	srcHost, dstHost topology.NodeID
+	dstPort          uint16
+}
+
+type blockKey struct {
+	host topology.NodeID
+	port uint16
+}
+
+// Attach wires the application onto a network. Each app must be attached
+// exactly once; the same host may serve several apps (each registers its
+// own delivery handler, dispatching on destination port and tier hosts).
+func Attach(n *simnet.Network, spec Spec, seed int64) (*App, error) {
+	if len(spec.Tiers) == 0 {
+		return nil, fmt.Errorf("workload: app %q has no tiers", spec.Name)
+	}
+	if spec.Interarrival <= 0 {
+		return nil, fmt.Errorf("workload: app %q needs a positive interarrival", spec.Name)
+	}
+	if spec.RequestBytes == 0 {
+		spec.RequestBytes = 2048
+	}
+	if spec.ResponseBytes == 0 {
+		spec.ResponseBytes = 8192
+	}
+	a := &App{
+		Spec:         spec,
+		net:          n,
+		rng:          rand.New(rand.NewSource(seed)),
+		nextPort:     20000,
+		conns:        make(map[connKey]flowlog.FlowKey),
+		rrCounter:    make(map[int]int),
+		overhead:     make(map[topology.NodeID]time.Duration),
+		crashed:      make(map[topology.NodeID]bool),
+		blockedPorts: make(map[blockKey]bool),
+	}
+	for ti, tier := range spec.Tiers {
+		ti := ti
+		for _, h := range tier.Hosts {
+			h := h
+			n.OnDeliver(h, func(d simnet.Delivery) {
+				a.onDeliver(ti, h, d)
+			})
+		}
+	}
+	return a, nil
+}
+
+// Completed returns how many requests reached the last tier.
+func (a *App) Completed() int { return a.completed }
+
+// SetOverhead injects extra processing delay at a host (fault hook).
+func (a *App) SetOverhead(h topology.NodeID, d time.Duration) { a.overhead[h] = d }
+
+// Crash marks a host's application process dead: it stops producing
+// dependent flows (fault hook).
+func (a *App) Crash(h topology.NodeID) { a.crashed[h] = true }
+
+// BlockPort installs an egress firewall toward (host, port): no new flows
+// are opened to it (fault hook).
+func (a *App) BlockPort(h topology.NodeID, port uint16) {
+	a.blockedPorts[blockKey{h, port}] = true
+}
+
+// Run schedules client request arrivals over [from, until) virtual time.
+func (a *App) Run(from, until time.Duration) {
+	a.stopAt = until
+	a.scheduleNextRequest(from)
+}
+
+func (a *App) scheduleNextRequest(at time.Duration) {
+	gap := stats.Exponential(a.rng, a.Spec.Interarrival)
+	next := at + gap
+	if next >= a.stopAt {
+		return
+	}
+	a.net.Eng.Schedule(next, func() {
+		a.issueRequest()
+		a.scheduleNextRequest(a.net.Eng.Now())
+	})
+}
+
+// issueRequest opens a client flow to a front-tier host.
+func (a *App) issueRequest() {
+	front := a.Spec.Tiers[0]
+	dst := a.pickHost(0, front)
+	a.sendTo(a.Spec.Client, dst, front.Port, 0)
+}
+
+// onDeliver handles a request arriving at tier ti host h and, after the
+// tier's processing time, issues the dependent flow to the next tier.
+func (a *App) onDeliver(ti int, h topology.NodeID, d simnet.Delivery) {
+	tier := a.Spec.Tiers[ti]
+	if d.Flow.Key.DstPort != tier.Port {
+		return // traffic for another app or service on this host
+	}
+	if !a.flowBelongsToApp(ti, d) {
+		return
+	}
+	if a.crashed[h] {
+		return
+	}
+	if ti == len(a.Spec.Tiers)-1 {
+		a.completed++
+		if a.Spec.Responses {
+			a.respond(ti, d)
+		}
+		return
+	}
+	delay := tier.Processing + a.overhead[h]
+	next := a.Spec.Tiers[ti+1]
+	var dst topology.NodeID
+	if pinned, ok := tier.RouteNext[h]; ok {
+		dst = pinned
+	} else {
+		dst = a.pickHost(ti+1, next)
+	}
+	// The sending tier's ReuseProb governs whether this host reuses its
+	// established connection toward the next tier (the paper's R(m,n) at
+	// the app server).
+	reuse := tier.ReuseProb
+	a.net.Eng.After(delay, func() {
+		a.sendTo(h, dst, next.Port, reuse)
+	})
+	if a.Spec.Responses {
+		a.respond(ti, d)
+	}
+}
+
+// respond sends the response flow back to the request's sender (the
+// previous tier, or the client when ti == 0). The response traverses the
+// reverse 5-tuple of the request connection, so it hits the same
+// installed entries a real TCP conversation would.
+func (a *App) respond(ti int, d simnet.Delivery) {
+	delay := a.Spec.Tiers[ti].Processing / 2
+	key := d.Flow.Key.Reverse()
+	a.net.Eng.After(delay, func() {
+		a.net.StartFlow(a.net.Eng.Now(), simnet.Flow{Key: key, Bytes: a.Spec.ResponseBytes})
+	})
+}
+
+// flowBelongsToApp checks the flow's source against the app's upstream
+// hosts, so co-located apps sharing a port do not cross-trigger.
+func (a *App) flowBelongsToApp(ti int, d simnet.Delivery) bool {
+	if ti == 0 {
+		return d.Src == a.Spec.Client
+	}
+	for _, h := range a.Spec.Tiers[ti-1].Hosts {
+		if h == d.Src {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *App) pickHost(ti int, tier Tier) topology.NodeID {
+	if len(tier.Hosts) == 1 {
+		return tier.Hosts[0]
+	}
+	switch tier.Select {
+	case SelectSkewed:
+		if a.rng.Float64() < 0.8 {
+			return tier.Hosts[0]
+		}
+		return tier.Hosts[1+a.rng.Intn(len(tier.Hosts)-1)]
+	default:
+		i := a.rrCounter[ti] % len(tier.Hosts)
+		a.rrCounter[ti]++
+		return tier.Hosts[i]
+	}
+}
+
+// sendTo opens (or reuses) a connection from src to dst:port and starts
+// the flow on the network.
+func (a *App) sendTo(src, dst topology.NodeID, port uint16, reuseProb float64) {
+	if a.blockedPorts[blockKey{dst, port}] {
+		return
+	}
+	sn, ok := a.net.Topo.Node(src)
+	if !ok {
+		return
+	}
+	dn, ok := a.net.Topo.Node(dst)
+	if !ok {
+		return
+	}
+	ck := connKey{src, dst, port}
+	key, have := a.conns[ck]
+	if !have || a.rng.Float64() >= reuseProb {
+		a.nextPort++
+		if a.nextPort < 20000 { // wrapped
+			a.nextPort = 20000
+		}
+		key = flowlog.FlowKey{
+			Proto:   6,
+			Src:     sn.Addr,
+			Dst:     dn.Addr,
+			SrcPort: a.nextPort,
+			DstPort: port,
+		}
+		a.conns[ck] = key
+	}
+	a.net.StartFlow(a.net.Eng.Now(), simnet.Flow{Key: key, Bytes: a.Spec.RequestBytes})
+}

@@ -1,0 +1,501 @@
+package workload
+
+import (
+	"flowdiff/internal/stats"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/topology"
+)
+
+func labNet(t *testing.T, seed int64) *simnet.Network {
+	t.Helper()
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := simnet.NewNetwork(topo, simnet.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func edgeCount(log *flowlog.Log, topo *topology.Topology) map[[2]topology.NodeID]int {
+	counts := make(map[[2]topology.NodeID]int)
+	for key := range log.FirstPacketIns() {
+		s, ok1 := topo.HostByAddr(key.Src)
+		d, ok2 := topo.HostByAddr(key.Dst)
+		if !ok1 || !ok2 {
+			continue
+		}
+		counts[[2]topology.NodeID{s.ID, d.ID}]++
+	}
+	return counts
+}
+
+func TestThreeTierProducesChainedFlows(t *testing.T) {
+	n := labNet(t, 1)
+	spec, err := chain("test", 100*time.Millisecond, "S25", "S13", "S4", "S14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Attach(n, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(0, 30*time.Second)
+	n.Eng.Run(35 * time.Second)
+
+	if app.Completed() == 0 {
+		t.Fatal("no requests completed")
+	}
+	edges := edgeCount(n.Log(), n.Topo)
+	for _, want := range [][2]topology.NodeID{
+		{"S25", "S13"}, {"S13", "S4"}, {"S4", "S14"},
+	} {
+		if edges[want] == 0 {
+			t.Errorf("no flows on edge %v->%v", want[0], want[1])
+		}
+	}
+	// No unexpected edges.
+	for e := range edges {
+		switch e {
+		case [2]topology.NodeID{"S25", "S13"}, [2]topology.NodeID{"S13", "S4"}, [2]topology.NodeID{"S4", "S14"}:
+		default:
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+}
+
+func TestFiveTierChainIncludesSlaveDB(t *testing.T) {
+	n := labNet(t, 1)
+	spec, err := chain("rubbis", 100*time.Millisecond, "S25", "S13", "S4", "S14", "S15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Attach(n, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(0, 20*time.Second)
+	n.Eng.Run(25 * time.Second)
+	edges := edgeCount(n.Log(), n.Topo)
+	if edges[[2]topology.NodeID{"S14", "S15"}] == 0 {
+		t.Error("no db->slave replication flows")
+	}
+}
+
+func TestConnectionReuseSuppressesPacketIns(t *testing.T) {
+	countNewConns := func(reuse float64) int {
+		n := labNet(t, 7)
+		spec, err := chain("test", 50*time.Millisecond, "S25", "S13", "S4", "S14")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Tiers[1].ReuseProb = reuse // app tier's db connections
+		app, err := Attach(n, spec, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Run(0, 20*time.Second)
+		n.Eng.Run(25 * time.Second)
+		// Count distinct app->db flows (new connections).
+		distinct := 0
+		for key := range n.Log().FirstPacketIns() {
+			if key.DstPort == PortDB {
+				distinct++
+			}
+		}
+		return distinct
+	}
+	none := countNewConns(0)
+	high := countNewConns(0.9)
+	if high >= none {
+		t.Errorf("connection reuse should reduce distinct flows: reuse0=%d reuse0.9=%d", none, high)
+	}
+}
+
+func TestProcessingDelayVisibleInFlowStarts(t *testing.T) {
+	n := labNet(t, 3)
+	spec, err := chain("test", 200*time.Millisecond, "S25", "S13", "S4", "S14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Attach(n, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(0, 20*time.Second)
+	n.Eng.Run(25 * time.Second)
+
+	// Delay between each web->app flow start and the next app->db flow
+	// start should cluster near the 60 ms app processing time.
+	log := n.Log()
+	first := log.FirstPacketIns()
+	var inStarts, outStarts []time.Duration
+	for key, e := range first {
+		s, _ := n.Topo.HostByAddr(key.Src)
+		d, _ := n.Topo.HostByAddr(key.Dst)
+		if s == nil || d == nil {
+			continue
+		}
+		if s.ID == "S13" && d.ID == "S4" {
+			inStarts = append(inStarts, e.Time)
+		}
+		if s.ID == "S4" && d.ID == "S14" {
+			outStarts = append(outStarts, e.Time)
+		}
+	}
+	if len(inStarts) == 0 || len(outStarts) == 0 {
+		t.Fatal("missing observations")
+	}
+	// For each incoming flow, find the nearest following outgoing flow.
+	nearOK := 0
+	for _, tin := range inStarts {
+		best := time.Duration(-1)
+		for _, tout := range outStarts {
+			if tout > tin && (best < 0 || tout-tin < best) {
+				best = tout - tin
+			}
+		}
+		if best >= 55*time.Millisecond && best <= 80*time.Millisecond {
+			nearOK++
+		}
+	}
+	if nearOK == 0 {
+		t.Error("no in->out delay near the 60ms app processing time")
+	}
+}
+
+func TestCrashStopsDependentFlows(t *testing.T) {
+	n := labNet(t, 5)
+	spec, err := chain("test", 50*time.Millisecond, "S25", "S13", "S4", "S14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Attach(n, spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Crash("S4")
+	app.Run(0, 10*time.Second)
+	n.Eng.Run(15 * time.Second)
+	edges := edgeCount(n.Log(), n.Topo)
+	if edges[[2]topology.NodeID{"S13", "S4"}] == 0 {
+		t.Error("flows toward the crashed host should still appear")
+	}
+	if edges[[2]topology.NodeID{"S4", "S14"}] != 0 {
+		t.Error("crashed host must not emit dependent flows")
+	}
+	if app.Completed() != 0 {
+		t.Error("no request should complete past a crashed tier")
+	}
+}
+
+func TestBlockPortSuppressesEdge(t *testing.T) {
+	n := labNet(t, 5)
+	spec, err := chain("test", 50*time.Millisecond, "S25", "S13", "S4", "S14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Attach(n, spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.BlockPort("S14", PortDB)
+	app.Run(0, 10*time.Second)
+	n.Eng.Run(15 * time.Second)
+	edges := edgeCount(n.Log(), n.Topo)
+	if edges[[2]topology.NodeID{"S4", "S14"}] != 0 {
+		t.Error("firewalled edge should carry no flows")
+	}
+	if edges[[2]topology.NodeID{"S13", "S4"}] == 0 {
+		t.Error("upstream edges should be unaffected")
+	}
+}
+
+func TestOverheadShiftsDelay(t *testing.T) {
+	measure := func(overhead time.Duration) time.Duration {
+		n := labNet(t, 11)
+		spec, err := chain("test", 100*time.Millisecond, "S25", "S13", "S4", "S14")
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := Attach(n, spec, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.SetOverhead("S4", overhead)
+		app.Run(0, 20*time.Second)
+		n.Eng.Run(25 * time.Second)
+
+		first := n.Log().FirstPacketIns()
+		var inT, outT []time.Duration
+		for key, e := range first {
+			s, _ := n.Topo.HostByAddr(key.Src)
+			if s == nil {
+				continue
+			}
+			if s.ID == "S13" {
+				inT = append(inT, e.Time)
+			}
+			if s.ID == "S4" {
+				outT = append(outT, e.Time)
+			}
+		}
+		// Use the dominant histogram peak, as FlowDiff's DD signature
+		// does: the mean is skewed by mispaired in/out flows under
+		// concurrency, the mode is not.
+		h, err := stats.NewHistogram(0, float64(20*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ti := range inT {
+			for _, to := range outT {
+				if d := to - ti; d > 0 && d < 500*time.Millisecond {
+					h.Add(float64(d))
+				}
+			}
+		}
+		peak, ok := h.DominantPeak()
+		if !ok {
+			t.Fatal("no delay observations")
+		}
+		return time.Duration(peak.Value)
+	}
+	base := measure(0)
+	slow := measure(40 * time.Millisecond)
+	if slow < base+20*time.Millisecond {
+		t.Errorf("overhead not visible in DD peak: base=%v slow=%v", base, slow)
+	}
+}
+
+func TestCaseSpecs(t *testing.T) {
+	for i := 1; i <= 5; i++ {
+		specs, err := CaseSpecs(i)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(specs) == 0 {
+			t.Fatalf("case %d: no specs", i)
+		}
+		n := labNet(t, int64(i))
+		for j, s := range specs {
+			if _, err := Attach(n, s, int64(j)); err != nil {
+				t.Errorf("case %d app %q: %v", i, s.Name, err)
+			}
+		}
+	}
+	if _, err := CaseSpecs(0); err == nil {
+		t.Error("want error for case 0")
+	}
+	if _, err := CaseSpecs(6); err == nil {
+		t.Error("want error for case 6")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	n := labNet(t, 1)
+	if _, err := Attach(n, Spec{Name: "x", Client: "S1", Interarrival: time.Second}, 1); err == nil {
+		t.Error("want error for zero tiers")
+	}
+	spec, _ := chain("x", 0, "S25", "S13", "S4", "S14")
+	if _, err := Attach(n, spec, 1); err == nil {
+		t.Error("want error for zero interarrival")
+	}
+}
+
+func TestOnOffApp(t *testing.T) {
+	topo, err := topology.Tree320()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := simnet.NewNetwork(topo, simnet.Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	spec, err := RandomThreeTier(topo, rng, "app1", []int{2, 2, 2}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := AttachOnOff(n, spec, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Pairs() != 8 { // 2*2 + 2*2
+		t.Errorf("pairs = %d, want 8", app.Pairs())
+	}
+	app.Run(0, 10*time.Second)
+	n.Eng.Run(12 * time.Second)
+	if app.Flows() == 0 {
+		t.Fatal("no flows generated")
+	}
+	// With reuse 0.6, distinct flows (new connections) must be well below
+	// total bursts.
+	distinct := len(n.Log().Flows())
+	if distinct >= app.Flows() {
+		t.Errorf("reuse had no effect: %d distinct of %d bursts", distinct, app.Flows())
+	}
+	if distinct == 0 {
+		t.Error("no PacketIns at all")
+	}
+}
+
+func TestRandomThreeTierValidation(t *testing.T) {
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomThreeTier(topo, rng, "too-big", []int{100, 100, 100}, 0.5); err == nil {
+		t.Error("want error when tiers need more hosts than exist")
+	}
+	spec, err := RandomThreeTier(topo, rng, "ok", []int{1, 2, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[topology.NodeID]bool)
+	for _, tier := range spec.TierHosts {
+		for _, h := range tier {
+			if seen[h] {
+				t.Errorf("host %s placed twice", h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestExecuteTaskVMMigration(t *testing.T) {
+	n := labNet(t, 31)
+	rng := rand.New(rand.NewSource(32))
+	script := VMMigration("V1", "V2", "NFS")
+	run, err := ExecuteTask(n, 0, script, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Flows) < len(script.Steps) {
+		t.Errorf("run issued %d flows, want >= %d", len(run.Flows), len(script.Steps))
+	}
+	n.Eng.Run(5 * time.Second)
+	log := n.Log()
+	if len(log.Flows()) == 0 {
+		t.Fatal("task produced no PacketIns")
+	}
+	// The migration must include NFS traffic from both hosts and the
+	// 8002<->8002 negotiation.
+	var sawA, sawC, sawE bool
+	for key := range log.FirstPacketIns() {
+		s, _ := n.Topo.HostByAddr(key.Src)
+		d, _ := n.Topo.HostByAddr(key.Dst)
+		if s == nil || d == nil {
+			continue
+		}
+		if s.ID == "V1" && d.ID == "NFS" && key.DstPort == 2049 {
+			sawA = true
+		}
+		if s.ID == "V1" && d.ID == "V2" && key.SrcPort == 8002 && key.DstPort == 8002 {
+			sawC = true
+		}
+		if s.ID == "V2" && d.ID == "NFS" && key.DstPort == 2049 {
+			sawE = true
+		}
+	}
+	if !sawA || !sawC || !sawE {
+		t.Errorf("missing migration flows: a=%v c=%v e=%v", sawA, sawC, sawE)
+	}
+}
+
+func TestExecuteTaskVariation(t *testing.T) {
+	// Different runs of the same script should (eventually) differ in
+	// their flow sequence: repeats and ephemeral ports vary.
+	n := labNet(t, 41)
+	script := VMMigration("V1", "V2", "NFS")
+	rng := rand.New(rand.NewSource(42))
+	lens := make(map[int]bool)
+	for i := 0; i < 20; i++ {
+		run, err := ExecuteTask(n, time.Duration(i)*time.Second, script, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens[len(run.Flows)] = true
+	}
+	if len(lens) < 2 {
+		t.Error("20 runs all had identical flow counts; expected repeat variation")
+	}
+}
+
+func TestExecuteTaskUnknownHost(t *testing.T) {
+	n := labNet(t, 51)
+	rng := rand.New(rand.NewSource(52))
+	script := TaskScript{Name: "bad", Steps: []Step{{Src: "nope", Dst: "NFS", DstPort: 1, Proto: 6}}}
+	if _, err := ExecuteTask(n, 0, script, rng); err == nil {
+		t.Error("want error for unknown host")
+	}
+}
+
+func TestVMStartupFlavorsDiffer(t *testing.T) {
+	ami := VMStartup("V1", FlavorAMI, "DHCP", "DNS", "NTP", "NFS")
+	ubu := VMStartup("V1", FlavorUbuntu, "DHCP", "DNS", "NTP", "NFS")
+	if ami.Name == ubu.Name {
+		t.Error("flavor scripts should be named differently")
+	}
+	// The sequences must differ in destination-port order so masked
+	// automata can discriminate them.
+	sig := func(s TaskScript) string {
+		out := ""
+		for _, st := range s.Steps {
+			out += string(rune(st.DstPort)) + ","
+		}
+		return out
+	}
+	if sig(ami) == sig(ubu) {
+		t.Error("AMI and Ubuntu startup sequences are identical")
+	}
+}
+
+func TestResponsesCreateReverseEdges(t *testing.T) {
+	n := labNet(t, 61)
+	spec, err := chain("resp", 100*time.Millisecond, "S25", "S13", "S4", "S14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Responses = true
+	app, err := Attach(n, spec, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(0, 20*time.Second)
+	n.Eng.Run(25 * time.Second)
+	edges := edgeCount(n.Log(), n.Topo)
+	for _, want := range [][2]topology.NodeID{
+		{"S25", "S13"}, {"S13", "S4"}, {"S4", "S14"}, // requests
+		{"S14", "S4"}, {"S4", "S13"}, {"S13", "S25"}, // responses
+	} {
+		if edges[want] == 0 {
+			t.Errorf("no flows on edge %v->%v", want[0], want[1])
+		}
+	}
+}
+
+func TestResponsesOffByDefault(t *testing.T) {
+	n := labNet(t, 63)
+	spec, err := chain("noresp", 100*time.Millisecond, "S25", "S13", "S4", "S14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Attach(n, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(0, 10*time.Second)
+	n.Eng.Run(15 * time.Second)
+	edges := edgeCount(n.Log(), n.Topo)
+	if edges[[2]topology.NodeID{"S14", "S4"}] != 0 {
+		t.Error("responses flowed without Responses enabled")
+	}
+}

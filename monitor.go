@@ -1,0 +1,112 @@
+package flowdiff
+
+import (
+	"fmt"
+	"time"
+
+	"flowdiff/internal/flowlog"
+)
+
+// Monitor runs FlowDiff continuously: control events are appended as they
+// arrive, and every window the accumulated interval is modeled and
+// compared against the frozen baseline — the operational mode §III
+// sketches ("FlowDiff frequently models the behavior of a data center").
+//
+// Monitor is not safe for concurrent use; feed it from the goroutine that
+// owns the event source (the simulator loop or a controller.Server
+// drainer).
+type Monitor struct {
+	opts      Options
+	th        Thresholds
+	window    time.Duration
+	automata  []*TaskAutomaton
+	baseline  *Signatures
+	buf       *flowlog.Log
+	lastFlush time.Duration
+	reports   []MonitorReport
+}
+
+// MonitorReport is one window's diagnosis.
+type MonitorReport struct {
+	// Window is the interval [From, To) the report covers.
+	From, To time.Duration
+	Report   Report
+}
+
+// NewMonitor creates a monitor against a baseline built from a
+// known-good log. window controls how often diffs are produced (default
+// 1 minute).
+func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, th Thresholds, opts Options) (*Monitor, error) {
+	if window <= 0 {
+		window = time.Minute
+	}
+	base, err := BuildSignatures(baseline, opts)
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: building monitor baseline: %w", err)
+	}
+	return &Monitor{
+		opts:      opts,
+		th:        th,
+		window:    window,
+		automata:  automata,
+		baseline:  base,
+		buf:       flowlog.New(baseline.End, baseline.End),
+		lastFlush: baseline.End,
+	}, nil
+}
+
+// Baseline exposes the frozen baseline signatures.
+func (m *Monitor) Baseline() *Signatures { return m.baseline }
+
+// Observe appends one control event. Whenever the buffered interval
+// reaches the window length, the interval is diagnosed and the resulting
+// report returned (nil otherwise). Events must arrive in time order.
+func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
+	if e.Time < m.lastFlush {
+		return nil, fmt.Errorf("flowdiff: event at %v precedes current window start %v", e.Time, m.lastFlush)
+	}
+	m.buf.Append(e)
+	m.buf.End = e.Time
+	if e.Time-m.lastFlush < m.window {
+		return nil, nil
+	}
+	return m.Flush()
+}
+
+// Flush diagnoses the buffered interval immediately (also called
+// internally when a window fills). Returns nil when the buffer is empty.
+func (m *Monitor) Flush() (*MonitorReport, error) {
+	if len(m.buf.Events) == 0 {
+		m.lastFlush = m.buf.End
+		return nil, nil
+	}
+	cur, err := BuildSignatures(m.buf, m.opts)
+	if err != nil {
+		return nil, err
+	}
+	changes := Diff(m.baseline, cur, m.th)
+	tasks := DetectTasks(m.buf, m.automata, m.opts.Signature.OccurrenceGap)
+	rep := MonitorReport{
+		From:   m.buf.Start,
+		To:     m.buf.End,
+		Report: Diagnose(changes, tasks, m.opts),
+	}
+	m.reports = append(m.reports, rep)
+	m.buf = flowlog.New(m.buf.End, m.buf.End)
+	m.lastFlush = rep.To
+	return &rep, nil
+}
+
+// Reports returns every report produced so far.
+func (m *Monitor) Reports() []MonitorReport { return m.reports }
+
+// Alarms returns the reports that contain unexplained changes.
+func (m *Monitor) Alarms() []MonitorReport {
+	var out []MonitorReport
+	for _, r := range m.reports {
+		if len(r.Report.Unknown) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package flowdiff
+
+import (
+	"testing"
+	"time"
+
+	"flowdiff/internal/faults"
+	"flowdiff/internal/workload"
+)
+
+// driveMonitor replays a scenario's L2 events through a monitor built on
+// its L1.
+func driveMonitor(t *testing.T, s Scenario, window time.Duration) (*Monitor, *ScenarioResult) {
+	t.Helper()
+	res, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(res.L1, window, nil, Thresholds{}, res.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.L2.Events {
+		if _, err := m.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestMonitorCleanRunStaysQuiet(t *testing.T) {
+	m, _ := driveMonitor(t, Scenario{Seed: 200}, time.Minute)
+	if len(m.Reports()) == 0 {
+		t.Fatal("monitor produced no reports")
+	}
+	for _, r := range m.Alarms() {
+		t.Errorf("clean run raised alarm in [%v,%v): %+v", r.From, r.To, r.Report.Unknown)
+	}
+}
+
+func TestMonitorDetectsMidStreamFault(t *testing.T) {
+	m, _ := driveMonitor(t, Scenario{
+		Seed:   201,
+		Faults: []faults.Injector{faults.AppCrash{Host: "S3"}},
+	}, time.Minute)
+	alarms := m.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("app crash never raised an alarm")
+	}
+	// The alarm must implicate S3.
+	found := false
+	for _, a := range alarms {
+		for _, c := range a.Report.Ranking {
+			if c.Component == "S3" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("alarms do not implicate the crashed server")
+	}
+}
+
+func TestMonitorWindowing(t *testing.T) {
+	m, res := driveMonitor(t, Scenario{Seed: 202}, 30*time.Second)
+	// A 3-minute L2 with 30s windows yields ~6 reports.
+	if got := len(m.Reports()); got < 4 || got > 8 {
+		t.Errorf("got %d reports for 3min/30s windows", got)
+	}
+	// Windows tile the interval without overlap.
+	prev := res.L1.End
+	for _, r := range m.Reports() {
+		if r.From != prev {
+			t.Errorf("window [%v,%v) does not start at previous end %v", r.From, r.To, prev)
+		}
+		if r.To <= r.From {
+			t.Errorf("empty window [%v,%v)", r.From, r.To)
+		}
+		prev = r.To
+	}
+}
+
+func TestMonitorValidatesTasks(t *testing.T) {
+	script := workload.VMMigration("V1", "V2", "NFS")
+	// Train an automaton.
+	train, err := RunScenario(Scenario{
+		Seed: 203, BaselineDur: time.Second, FaultDur: 10 * time.Minute,
+		Tasks: []workload.TaskScript{script, script, script, script, script},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [][]FlowKey
+	for _, r := range train.TaskRuns {
+		runs = append(runs, r.Flows)
+	}
+	automaton, err := MineTask("vm-migration", runs, TaskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunScenario(Scenario{Seed: 204, Tasks: []workload.TaskScript{script}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(res.L1, time.Minute, []*TaskAutomaton{automaton}, Thresholds{}, res.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.L2.Events {
+		if _, err := m.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Flush()
+	known := 0
+	for _, r := range m.Reports() {
+		known += len(r.Report.Known)
+	}
+	if known == 0 {
+		t.Error("migration changes were not validated by the monitor")
+	}
+}
+
+func TestMonitorRejectsOutOfOrderEvents(t *testing.T) {
+	res, err := RunScenario(Scenario{Seed: 205, BaselineDur: time.Minute, FaultDur: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(res.L1, time.Minute, nil, Thresholds{}, res.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := res.L1.Events[0]
+	if _, err := m.Observe(stale); err == nil {
+		t.Error("want error for event preceding the window")
+	}
+}

@@ -1,0 +1,132 @@
+package flowdiff
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowdiff/internal/faults"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/topology"
+	"flowdiff/internal/workload"
+)
+
+// Scenario describes one lab experiment: run a Table II application
+// deployment on the lab topology, capture a clean baseline log L1, inject
+// faults (and/or execute operator tasks), and capture the problem log L2.
+type Scenario struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Case selects the Table II deployment (1..5). Default 5.
+	Case int
+	// Case5 overrides the case-5 workload parameters (P(x,y), R(m,n)).
+	Case5 *workload.Case5Params
+	// BaselineDur and FaultDur are the L1 and L2 capture lengths.
+	// Defaults: 3 min each.
+	BaselineDur, FaultDur time.Duration
+	// Faults are injected at the start of the L2 interval.
+	Faults []faults.Injector
+	// Tasks are operator tasks executed during L2 (for validation).
+	Tasks []workload.TaskScript
+	// Net overrides the simulator configuration.
+	Net simnet.Config
+}
+
+// ScenarioResult carries both captures and the live simulation handles.
+type ScenarioResult struct {
+	L1, L2 *flowlog.Log
+	Topo   *topology.Topology
+	Net    *simnet.Network
+	Apps   []*workload.App
+	// TaskRuns are the flows of the operator tasks executed during L2.
+	TaskRuns []workload.TaskRun
+}
+
+// Options returns ready-to-use analysis options for the scenario's
+// topology (lab service nodes marked as special).
+func (r *ScenarioResult) Options() Options {
+	return Options{Topo: r.Topo, Special: topology.ServiceNodes}
+}
+
+// RunScenario executes the scenario and returns both logs.
+func RunScenario(s Scenario) (*ScenarioResult, error) {
+	if s.Case == 0 {
+		s.Case = 5
+	}
+	if s.BaselineDur == 0 {
+		s.BaselineDur = 3 * time.Minute
+	}
+	if s.FaultDur == 0 {
+		s.FaultDur = 3 * time.Minute
+	}
+	topo, err := topology.Lab()
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: building lab topology: %w", err)
+	}
+	cfg := s.Net
+	cfg.Seed = s.Seed
+	net, err := simnet.NewNetwork(topo, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: building network: %w", err)
+	}
+
+	var specs []workload.Spec
+	if s.Case == 5 && s.Case5 != nil {
+		p := *s.Case5
+		if p.Duration == 0 {
+			p.Duration = s.BaselineDur
+		}
+		specs = workload.Case5Specs(p)
+	} else {
+		specs, err = workload.CaseSpecs(s.Case)
+		if err != nil {
+			return nil, fmt.Errorf("flowdiff: %w", err)
+		}
+	}
+
+	total := s.BaselineDur + s.FaultDur
+	apps := make([]*workload.App, 0, len(specs))
+	for i, spec := range specs {
+		app, err := workload.Attach(net, spec, s.Seed+int64(i)+1)
+		if err != nil {
+			return nil, fmt.Errorf("flowdiff: attaching app %q: %w", spec.Name, err)
+		}
+		app.Run(0, total)
+		apps = append(apps, app)
+	}
+
+	// Capture L1.
+	net.Eng.Run(s.BaselineDur)
+	l1 := net.Log()
+	net.ResetLog()
+
+	// Inject faults and execute tasks at the start of L2.
+	res := &ScenarioResult{Topo: topo, Net: net, Apps: apps}
+	for _, f := range s.Faults {
+		if err := f.Apply(net, apps); err != nil {
+			return nil, fmt.Errorf("flowdiff: applying fault %q: %w", f.Name(), err)
+		}
+	}
+	if len(s.Tasks) > 0 {
+		rng := workloadRNG(s.Seed + 9999)
+		at := net.Eng.Now() + 5*time.Second
+		for _, script := range s.Tasks {
+			run, err := workload.ExecuteTask(net, at, script, rng)
+			if err != nil {
+				return nil, fmt.Errorf("flowdiff: executing task %q: %w", script.Name, err)
+			}
+			res.TaskRuns = append(res.TaskRuns, run)
+			at += 30 * time.Second
+		}
+	}
+
+	net.Eng.Run(s.BaselineDur + s.FaultDur)
+	res.L1 = l1
+	res.L2 = net.Log()
+	return res, nil
+}
+
+func workloadRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

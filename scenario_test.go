@@ -1,0 +1,65 @@
+package flowdiff
+
+import (
+	"testing"
+	"time"
+
+	"flowdiff/internal/workload"
+)
+
+func TestRunScenarioAllCases(t *testing.T) {
+	for c := 1; c <= 5; c++ {
+		res, err := RunScenario(Scenario{
+			Seed: int64(300 + c), Case: c,
+			BaselineDur: 30 * time.Second, FaultDur: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("case %d: %v", c, err)
+		}
+		if len(res.L1.Events) == 0 || len(res.L2.Events) == 0 {
+			t.Errorf("case %d: empty logs (%d, %d)", c, len(res.L1.Events), len(res.L2.Events))
+		}
+		if res.L1.Duration() != 30*time.Second {
+			t.Errorf("case %d: L1 duration %v", c, res.L1.Duration())
+		}
+	}
+}
+
+func TestRunScenarioInvalidCase(t *testing.T) {
+	if _, err := RunScenario(Scenario{Seed: 1, Case: 9}); err == nil {
+		t.Error("want error for unknown case")
+	}
+}
+
+func TestRunScenarioCustomParams(t *testing.T) {
+	p := workload.Case5Params{MeanA: 50, MeanB: 50, ReuseA: 0.5, ReuseB: 0.5}
+	res, err := RunScenario(Scenario{
+		Seed: 310, Case5: &p,
+		BaselineDur: 30 * time.Second, FaultDur: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.L1.Events) == 0 {
+		t.Error("custom-parameter scenario produced no traffic")
+	}
+}
+
+func TestScenarioTasksRecorded(t *testing.T) {
+	script := workload.MountNFS("S1", "NFS")
+	res, err := RunScenario(Scenario{
+		Seed: 311, BaselineDur: time.Second, FaultDur: time.Minute,
+		Tasks: []workload.TaskScript{script, script},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaskRuns) != 2 {
+		t.Fatalf("task runs = %d, want 2", len(res.TaskRuns))
+	}
+	for _, r := range res.TaskRuns {
+		if len(r.Flows) == 0 || len(r.Flows) != len(r.Times) {
+			t.Errorf("malformed task run %+v", r)
+		}
+	}
+}
