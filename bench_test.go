@@ -8,12 +8,18 @@
 package flowdiff_test
 
 import (
+	"fmt"
+	"net/netip"
+	"runtime"
 	"testing"
 	"time"
 
 	"flowdiff"
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/core/signature"
 	"flowdiff/internal/experiments"
 	"flowdiff/internal/faults"
+	"flowdiff/internal/flowlog"
 )
 
 // BenchmarkTable1DetectProblems regenerates Table I: inject each of the
@@ -143,6 +149,93 @@ func BenchmarkDiffPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
 		flowdiff.Diagnose(changes, nil, opts)
+	}
+}
+
+// --- modeling-pipeline benches ---------------------------------------
+
+// synthThreeTierLog builds a deterministic control log of roughly
+// nEvents events: eight independent three-tier application groups, each
+// request producing a front->mid and a mid->back flow (PacketIn+FlowMod
+// on two switches plus a FlowRemoved per flow). It exercises every
+// signature component (CG/FS/CI/DD/PC) at a controlled event count,
+// which the simulator-driven benches cannot.
+func synthThreeTierLog(nEvents int) *flowdiff.Log {
+	const (
+		groups       = 8
+		dur          = 5 * time.Minute
+		eventsPerReq = 10 // 2 flows x (2 PacketIn + 2 FlowMod + 1 FlowRemoved)
+	)
+	l := flowlog.New(0, dur)
+	reqs := nEvents / (groups * eventsPerReq)
+	if reqs < 1 {
+		reqs = 1
+	}
+	step := dur / time.Duration(reqs+1)
+	host := func(g, role int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, byte(g), byte(role), 1})
+	}
+	emit := func(k flowlog.FlowKey, at time.Duration, sw1, sw2 string) {
+		l.Append(flowlog.Event{Time: at, Type: flowlog.EventPacketIn, Switch: sw1, Flow: k})
+		l.Append(flowlog.Event{Time: at + time.Millisecond, Type: flowlog.EventFlowMod, Switch: sw1, Flow: k})
+		l.Append(flowlog.Event{Time: at + 2*time.Millisecond, Type: flowlog.EventPacketIn, Switch: sw2, Flow: k})
+		l.Append(flowlog.Event{Time: at + 3*time.Millisecond, Type: flowlog.EventFlowMod, Switch: sw2, Flow: k})
+		l.Append(flowlog.Event{Time: at + 500*time.Millisecond, Type: flowlog.EventFlowRemoved, Switch: sw1, Flow: k,
+			Bytes: 30000, Packets: 40, FlowDuration: 400 * time.Millisecond})
+	}
+	for i := 0; i < reqs; i++ {
+		t0 := time.Duration(i+1) * step
+		port := uint16(1024 + i%50000)
+		for g := 0; g < groups; g++ {
+			sw1, sw2 := fmt.Sprintf("sw%d-1", g), fmt.Sprintf("sw%d-2", g)
+			front := flowlog.FlowKey{Proto: 6, Src: host(g, 1), Dst: host(g, 2), SrcPort: port, DstPort: 80}
+			back := flowlog.FlowKey{Proto: 6, Src: host(g, 2), Dst: host(g, 3), SrcPort: port, DstPort: 3306}
+			emit(front, t0, sw1, sw2)
+			emit(back, t0+10*time.Millisecond, sw1, sw2)
+		}
+	}
+	l.Sort()
+	return l
+}
+
+// BenchmarkBuildSignatures measures the full modeling phase (app +
+// infra + stability, single-pass pipeline) at three log scales, with a
+// sequential and a per-CPU worker-pool variant.
+func BenchmarkBuildSignatures(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 500_000} {
+		log := synthThreeTierLog(n)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("events=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
+				opts := flowdiff.Options{Parallelism: workers}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := flowdiff.BuildSignatures(log, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAnalyzeStability isolates the per-interval stability
+// analysis, historically the most extraction-heavy stage (it used to
+// re-run occurrence extraction once per interval plus once whole-log).
+func BenchmarkAnalyzeStability(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 500_000} {
+		log := synthThreeTierLog(n)
+		r := appgroup.NewResolver(nil)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("events=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
+				cfg := signature.Config{Parallelism: workers}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := signature.AnalyzeStability(log, r, cfg, signature.StabilityConfig{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

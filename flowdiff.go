@@ -22,6 +22,8 @@ package flowdiff
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"flowdiff/internal/core/appgroup"
@@ -72,6 +74,11 @@ type Options struct {
 	Signature signature.Config
 	// Stability tunes the per-interval analysis (zero = defaults).
 	Stability signature.StabilityConfig
+	// Parallelism bounds the modeling worker pool: per-group signature
+	// builds, per-interval stability builds, and the two halves of
+	// Compare. 0 uses one worker per CPU; 1 forces fully sequential
+	// modeling. Diagnosis output is identical for every setting.
+	Parallelism int
 }
 
 func (o Options) resolver() *appgroup.Resolver {
@@ -86,7 +93,18 @@ func (o Options) sigConfig() signature.Config {
 			cfg.Special[s] = true
 		}
 	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = o.Parallelism
+	}
 	return cfg
+}
+
+// workers resolves the Parallelism knob (0 = one worker per CPU).
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Signatures bundles everything extracted from one log.
@@ -98,18 +116,21 @@ type Signatures struct {
 	opts      Options
 }
 
-// BuildSignatures runs FlowDiff's modeling phase on a log.
+// BuildSignatures runs FlowDiff's modeling phase on a log. The phase is
+// single-pass: flow occurrences are extracted once and shared by the
+// application, infrastructure, and stability builds, which fan out onto
+// a worker pool bounded by Options.Parallelism.
 func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
 	if log == nil {
 		return nil, fmt.Errorf("flowdiff: nil log")
 	}
-	r := opts.resolver()
-	cfg := opts.sigConfig()
-	apps, infra := signature.Build(log, r, cfg)
+	p := signature.NewPipeline(log, opts.resolver(), opts.sigConfig())
+	apps := p.App()
+	infra := p.Infra()
 	var stab map[string]Stability
 	if log.Duration() > 0 {
 		var err error
-		stab, err = signature.AnalyzeStability(log, r, cfg, opts.Stability)
+		stab, err = p.Stability(opts.Stability, apps)
 		if err != nil {
 			return nil, fmt.Errorf("flowdiff: stability analysis: %w", err)
 		}
@@ -166,15 +187,32 @@ func Diagnose(changes []Change, tasks []TaskDetection, opts Options) Report {
 }
 
 // Compare is the one-call convenience API: model both logs, diff, detect
-// tasks in the current log, and diagnose.
+// tasks in the current log, and diagnose. With Parallelism != 1 the two
+// modeling halves run concurrently (signature state is per-log, and the
+// shared topology is read-only).
 func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
-	base, err := BuildSignatures(baseline, opts)
-	if err != nil {
-		return Report{}, err
+	var (
+		base, cur  *Signatures
+		berr, cerr error
+	)
+	if opts.workers() > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base, berr = BuildSignatures(baseline, opts)
+		}()
+		cur, cerr = BuildSignatures(current, opts)
+		wg.Wait()
+	} else {
+		base, berr = BuildSignatures(baseline, opts)
+		cur, cerr = BuildSignatures(current, opts)
 	}
-	cur, err := BuildSignatures(current, opts)
-	if err != nil {
-		return Report{}, err
+	if berr != nil {
+		return Report{}, berr
+	}
+	if cerr != nil {
+		return Report{}, cerr
 	}
 	changes := Diff(base, cur, th)
 	tasks := DetectTasks(current, automata, opts.Signature.OccurrenceGap)

@@ -41,6 +41,10 @@ type Config struct {
 	PCEpoch time.Duration
 	// Special marks the data center's service nodes (group boundaries).
 	Special map[topology.NodeID]bool
+	// Parallelism bounds the worker pool for per-group and per-interval
+	// builds: 0 uses one worker per CPU, 1 forces sequential builds.
+	// Results are identical for every setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,56 +131,77 @@ type AppSignature struct {
 // Build extracts both application and infrastructure signatures with a
 // single occurrence-extraction pass (the dominant cost on large logs).
 func Build(log *flowlog.Log, r *appgroup.Resolver, cfg Config) ([]AppSignature, InfraSignature) {
-	cfg = cfg.withDefaults()
-	occs := Occurrences(log, cfg.OccurrenceGap)
-	inf := buildInfraFromOccs(r, cfg, occs)
-	inf.LogDuration = log.Duration()
-	attachLinkBytes(&inf, log, cfg)
-	return buildAppFromOccs(log, r, cfg, occs), inf
+	p := NewPipeline(log, r, cfg)
+	return p.App(), p.Infra()
 }
 
 // BuildApp extracts per-group application signatures from a log.
 func BuildApp(log *flowlog.Log, r *appgroup.Resolver, cfg Config) []AppSignature {
-	cfg = cfg.withDefaults()
-	return buildAppFromOccs(log, r, cfg, Occurrences(log, cfg.OccurrenceGap))
+	return NewPipeline(log, r, cfg).App()
 }
 
 func buildAppFromOccs(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
 	groups := appgroup.Discover(log, r, cfg.Special)
+	if len(groups) == 0 {
+		return nil
+	}
 
-	// Index occurrences and FlowRemoved events by host edge.
+	// Index occurrences and FlowRemoved events by host edge. The maps are
+	// read-only once built, so the group builds can share them.
 	occsByEdge := make(map[Edge][]Occurrence)
 	for _, o := range occs {
 		e := Edge{Src: r.Node(o.Key.Src), Dst: r.Node(o.Key.Dst)}
 		occsByEdge[e] = append(occsByEdge[e], o)
 	}
 	removedByEdge := make(map[Edge][]flowlog.Event)
-	for _, ev := range log.ByType(flowlog.EventFlowRemoved).Events {
+	for i := range log.Events {
+		if log.Events[i].Type != flowlog.EventFlowRemoved {
+			continue
+		}
+		ev := log.Events[i]
 		e := Edge{Src: r.Node(ev.Flow.Src), Dst: r.Node(ev.Flow.Dst)}
 		removedByEdge[e] = append(removedByEdge[e], ev)
 	}
 
-	var out []AppSignature
-	for _, g := range groups {
-		sig := AppSignature{
-			Group:       g,
-			LogDuration: log.Duration(),
-			CG:          make(map[Edge]bool),
-			FS:          make(map[Edge]FlowStats),
-			CI:          make(map[topology.NodeID]CISig),
-			DD:          make(map[EdgePair]DDSig),
-			PC:          make(map[EdgePair]float64),
-		}
-		for _, e := range g.Edges {
-			sig.CG[e] = true
-			sig.FS[e] = edgeStats(occsByEdge[e], removedByEdge[e])
-			sig.GroupFS.FlowCount += sig.FS[e].FlowCount
-		}
-		buildCI(&sig)
-		buildDDAndPC(&sig, occsByEdge, log, cfg)
-		out = append(out, sig)
-	}
+	out := make([]AppSignature, len(groups))
+	parallelFor(len(groups), cfg.workers(), func(i int) {
+		out[i] = buildGroupSig(groups[i], log, cfg, occsByEdge, removedByEdge)
+	})
 	return out
+}
+
+func buildGroupSig(g appgroup.Group, log *flowlog.Log, cfg Config, occsByEdge map[Edge][]Occurrence, removedByEdge map[Edge][]flowlog.Event) AppSignature {
+	sig := AppSignature{
+		Group:       g,
+		LogDuration: log.Duration(),
+		CG:          make(map[Edge]bool),
+		FS:          make(map[Edge]FlowStats),
+		CI:          make(map[topology.NodeID]CISig),
+		DD:          make(map[EdgePair]DDSig),
+		PC:          make(map[EdgePair]float64),
+	}
+	for _, e := range g.Edges {
+		sig.CG[e] = true
+		fs := edgeStats(occsByEdge[e], removedByEdge[e])
+		sig.FS[e] = fs
+		mergeGroupFS(&sig.GroupFS, fs)
+	}
+	buildCI(&sig)
+	buildDDAndPC(&sig, occsByEdge, log, cfg)
+	return sig
+}
+
+// mergeGroupFS folds one edge's statistics into the group-level
+// aggregate: total flow count, earliest first-seen, and merged counter
+// summaries. Raw per-flow samples stay per-edge to bound memory.
+func mergeGroupFS(g *FlowStats, fs FlowStats) {
+	if fs.FlowCount > 0 && (g.FlowCount == 0 || fs.FirstSeen < g.FirstSeen) {
+		g.FirstSeen = fs.FirstSeen
+	}
+	g.FlowCount += fs.FlowCount
+	g.Bytes = g.Bytes.Merge(fs.Bytes)
+	g.Packets = g.Packets.Merge(fs.Packets)
+	g.Duration = g.Duration.Merge(fs.Duration)
 }
 
 func edgeStats(occs []Occurrence, removed []flowlog.Event) FlowStats {
@@ -293,7 +318,9 @@ func delayDistribution(ins, outs []Occurrence, cfg Config) (DDSig, bool) {
 	sort.Slice(outStarts, func(i, j int) bool { return outStarts[i] < outStarts[j] })
 	samples := 0
 	for _, in := range ins {
-		idx := sort.Search(len(outStarts), func(i int) bool { return outStarts[i] > in.Start })
+		// >= admits an outgoing flow starting at the same instant as the
+		// incoming one (delay 0, common with the discrete-event clock).
+		idx := sort.Search(len(outStarts), func(i int) bool { return outStarts[i] >= in.Start })
 		for ; idx < len(outStarts); idx++ {
 			d := outStarts[idx] - in.Start
 			if d > cfg.DDWindow {
@@ -313,7 +340,10 @@ func delayDistribution(ins, outs []Occurrence, cfg Config) (DDSig, bool) {
 // edgeCorrelation computes the Pearson correlation between the two
 // edges' per-epoch flow-count time series (paper §III-B, PC).
 func edgeCorrelation(ins, outs []Occurrence, log *flowlog.Log, cfg Config) (float64, bool) {
-	nEpochs := int(log.Duration() / cfg.PCEpoch)
+	// Round the epoch count up: a log whose duration is not an epoch
+	// multiple still contributes its tail remainder as a partial epoch
+	// instead of silently dropping every occurrence in it.
+	nEpochs := int((log.Duration() + cfg.PCEpoch - 1) / cfg.PCEpoch)
 	if nEpochs < 3 {
 		return 0, false
 	}
@@ -321,6 +351,9 @@ func edgeCorrelation(ins, outs []Occurrence, log *flowlog.Log, cfg Config) (floa
 		s := make([]float64, nEpochs)
 		for _, o := range occs {
 			i := int((o.Start - log.Start) / cfg.PCEpoch)
+			if i == nEpochs && o.Start == log.End {
+				i-- // an episode starting exactly at End counts in the last epoch
+			}
 			if i >= 0 && i < nEpochs {
 				s[i]++
 			}

@@ -53,23 +53,19 @@ type InfraSignature struct {
 
 // BuildInfra extracts the infrastructure signature from a log.
 func BuildInfra(log *flowlog.Log, r *appgroup.Resolver, cfg Config) InfraSignature {
-	cfg = cfg.withDefaults()
-	inf := buildInfraFromOccs(r, cfg, Occurrences(log, cfg.OccurrenceGap))
-	inf.LogDuration = log.Duration()
-	attachLinkBytes(&inf, log, cfg)
-	return inf
+	return NewPipeline(log, r, cfg).Infra()
 }
 
 // attachLinkBytes distributes each removed flow's byte count over the
 // switch adjacencies its occurrences traversed, normalized to bytes per
-// second of log time.
-func attachLinkBytes(inf *InfraSignature, log *flowlog.Log, cfg Config) {
+// second of log time. occs are the log's (already extracted) episodes.
+func attachLinkBytes(inf *InfraSignature, log *flowlog.Log, occs []Occurrence) {
 	if log.Duration() <= 0 {
 		return
 	}
 	// Per flow key: the adjacency pairs its episodes traversed.
 	pathOf := make(map[flowlog.FlowKey][]SwitchPair)
-	for _, o := range Occurrences(log, cfg.OccurrenceGap) {
+	for _, o := range occs {
 		sws := o.Switches()
 		if len(sws) < 2 {
 			continue

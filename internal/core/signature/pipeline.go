@@ -1,0 +1,145 @@
+package signature
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/flowlog"
+)
+
+// Pipeline shares one occurrence-extraction pass across every signature
+// product of a log: application signatures, infrastructure signatures,
+// and the per-interval stability analysis.
+//
+// Occurrence extraction is the dominant cost of FlowDiff's modeling
+// phase on large logs; before this pipeline existed, one modeling run
+// re-ran it once for the app signatures, once for the infrastructure
+// signature, once more for link utilization, and once per stability
+// interval plus once for the whole-log reference — 8+ full passes with
+// the default five intervals. Pipeline extracts occurrences exactly
+// once, partitions them across the stability intervals by index slicing
+// over the start-time-sorted slice, and fans independent builds (per
+// application group, per interval) onto a bounded worker pool. Output is
+// deterministic: every worker writes only its own slot, so results are
+// identical for any worker count.
+type Pipeline struct {
+	log  *flowlog.Log
+	r    *appgroup.Resolver
+	cfg  Config
+	occs []Occurrence
+}
+
+// NewPipeline extracts the log's flow occurrences once and returns a
+// pipeline that builds every signature product from them.
+func NewPipeline(log *flowlog.Log, r *appgroup.Resolver, cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	return &Pipeline{log: log, r: r, cfg: cfg, occs: Occurrences(log, cfg.OccurrenceGap)}
+}
+
+// Occurrences returns the shared flow episodes, ordered by start time.
+// The slice is owned by the pipeline and must not be mutated.
+func (p *Pipeline) Occurrences() []Occurrence { return p.occs }
+
+// App builds the per-group application signatures from the shared
+// occurrences, one worker-pool task per group.
+func (p *Pipeline) App() []AppSignature {
+	return buildAppFromOccs(p.log, p.r, p.cfg, p.occs)
+}
+
+// Infra builds the infrastructure signature from the shared occurrences.
+func (p *Pipeline) Infra() InfraSignature {
+	inf := buildInfraFromOccs(p.r, p.cfg, p.occs)
+	inf.LogDuration = p.log.Duration()
+	attachLinkBytes(&inf, p.log, p.occs)
+	return inf
+}
+
+// Stability runs the per-interval stability analysis against full, the
+// whole-log signatures (pass App()'s result to avoid rebuilding them).
+// The log is segmented into cheap views and the shared occurrences are
+// partitioned across the intervals by binary search on their start
+// times; the per-interval builds then run on the worker pool.
+func (p *Pipeline) Stability(scfg StabilityConfig, full []AppSignature) (map[string]Stability, error) {
+	scfg = scfg.withDefaults()
+	segs, err := p.log.Segment(scfg.Intervals)
+	if err != nil {
+		return nil, fmt.Errorf("signature: segmenting log: %w", err)
+	}
+	parts := partitionByStart(p.occs, segs)
+	intervals := make([][]AppSignature, len(segs))
+	// Parallelism lives at the interval level here; the nested per-group
+	// builds run serially so the pool stays bounded at cfg.workers().
+	serial := p.cfg
+	serial.Parallelism = 1
+	parallelFor(len(segs), p.cfg.workers(), func(i int) {
+		intervals[i] = buildAppFromOccs(segs[i], p.r, serial, parts[i])
+	})
+	return Stabilities(full, intervals, scfg), nil
+}
+
+// partitionByStart slices occs (sorted by start time) into per-segment
+// subslices: an occurrence belongs to the interval containing its start.
+// The final segment is inclusive of its end so an episode starting
+// exactly at the log's End is not lost (mirroring flowlog.Segment).
+func partitionByStart(occs []Occurrence, segs []*flowlog.Log) [][]Occurrence {
+	parts := make([][]Occurrence, len(segs))
+	for i, s := range segs {
+		from, to := s.Start, s.End
+		lo := sort.Search(len(occs), func(j int) bool { return occs[j].Start >= from })
+		var hi int
+		if i == len(segs)-1 {
+			hi = sort.Search(len(occs), func(j int) bool { return occs[j].Start > to })
+		} else {
+			hi = sort.Search(len(occs), func(j int) bool { return occs[j].Start >= to })
+		}
+		if lo < hi {
+			parts[i] = occs[lo:hi:hi]
+		}
+	}
+	return parts
+}
+
+// workers resolves the Parallelism knob: 0 means one worker per
+// available CPU, 1 forces sequential execution.
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(0..n-1) on a bounded pool of workers goroutines.
+// Each fn(i) must write only its own output slot; under that contract
+// the result is identical for every worker count. One worker (or one
+// item) degrades to a plain loop with no goroutines.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

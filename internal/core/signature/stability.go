@@ -1,7 +1,6 @@
 package signature
 
 import (
-	"fmt"
 	"math"
 
 	"flowdiff/internal/core/appgroup"
@@ -65,21 +64,15 @@ type Stability struct {
 // StableCI reports whether node's CI may be used for diffing.
 func (s Stability) StableCI(node topology.NodeID) bool { return s.CINodes[node] }
 
-// AnalyzeStability segments the log, rebuilds signatures per segment, and
+// AnalyzeStability extracts occurrences once, partitions them across the
+// intervals, builds the per-interval signatures in parallel, and
 // compares every component of every group's whole-log signature against
 // its per-interval counterparts. The result is keyed by group key.
+// Callers that already hold a Pipeline should use its Stability method
+// to reuse the shared occurrences and whole-log signatures.
 func AnalyzeStability(log *flowlog.Log, r *appgroup.Resolver, cfg Config, scfg StabilityConfig) (map[string]Stability, error) {
-	scfg = scfg.withDefaults()
-	full := BuildApp(log, r, cfg)
-	segs, err := log.Segment(scfg.Intervals)
-	if err != nil {
-		return nil, fmt.Errorf("signature: segmenting log: %w", err)
-	}
-	intervals := make([][]AppSignature, len(segs))
-	for i, s := range segs {
-		intervals[i] = BuildApp(s, r, cfg)
-	}
-	return Stabilities(full, intervals, scfg), nil
+	p := NewPipeline(log, r, cfg)
+	return p.Stability(scfg, p.App())
 }
 
 // Stabilities compares whole-log signatures against per-interval

@@ -163,20 +163,57 @@ func (l *Log) ByType(t EventType) *Log {
 	return l.Filter(func(e Event) bool { return e.Type == t })
 }
 
+// timesSorted reports whether the events are in nondecreasing time order
+// (Sort's postcondition; logs appended in capture order satisfy it too).
+func (l *Log) timesSorted() bool {
+	for i := 1; i < len(l.Events); i++ {
+		if l.Events[i].Time < l.Events[i-1].Time {
+			return false
+		}
+	}
+	return true
+}
+
 // Window returns the events within [from, to), with the log bounds set to
-// the window.
+// the window. On a time-sorted log (the normal case) the boundaries are
+// located by binary search and the events are shared with the parent log
+// as a capacity-capped subslice, so windowing allocates nothing beyond
+// the Log header; windows are analysis views and must not have their
+// events mutated in place. Unsorted logs fall back to a linear scan.
 func (l *Log) Window(from, to time.Duration) *Log {
+	return l.window(from, to, false)
+}
+
+// window implements Window; inclusiveEnd additionally admits events
+// stamped exactly at to (used for the final stability segment, so an
+// event at the log's End lands in exactly one interval instead of none).
+func (l *Log) window(from, to time.Duration, inclusiveEnd bool) *Log {
 	out := New(from, to)
+	if l.timesSorted() {
+		lo := sort.Search(len(l.Events), func(i int) bool { return l.Events[i].Time >= from })
+		hi := sort.Search(len(l.Events), func(i int) bool {
+			if inclusiveEnd {
+				return l.Events[i].Time > to
+			}
+			return l.Events[i].Time >= to
+		})
+		if lo < hi {
+			out.Events = l.Events[lo:hi:hi]
+		}
+		return out
+	}
 	for _, e := range l.Events {
-		if e.Time >= from && e.Time < to {
+		if e.Time >= from && (e.Time < to || (inclusiveEnd && e.Time == to)) {
 			out.Append(e)
 		}
 	}
 	return out
 }
 
-// Segment splits the log into n equal-width windows. It returns an error
-// when n < 1 or the log covers no time.
+// Segment splits the log into n equal-width windows. The final window is
+// inclusive of End: whole-log analysis iterates every event, so an event
+// stamped exactly at End must land in exactly one segment rather than be
+// dropped. It returns an error when n < 1 or the log covers no time.
 func (l *Log) Segment(n int) ([]*Log, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("flowlog: segment count %d < 1", n)
@@ -191,11 +228,12 @@ func (l *Log) Segment(n int) ([]*Log, error) {
 	segs := make([]*Log, n)
 	for i := range segs {
 		from := l.Start + time.Duration(i)*width
-		to := from + width
 		if i == n-1 {
-			to = l.End // absorb rounding remainder
+			// Absorb the rounding remainder and the End boundary.
+			segs[i] = l.window(from, l.End, true)
+			continue
 		}
-		segs[i] = l.Window(from, to)
+		segs[i] = l.Window(from, from+width)
 	}
 	return segs, nil
 }

@@ -94,6 +94,69 @@ func TestSegment(t *testing.T) {
 	}
 }
 
+// Regression: an event stamped exactly at the log's End used to vanish
+// from every segment (Window is half-open), so stability intervals
+// collectively saw fewer events than the whole-log build.
+func TestSegmentIncludesEndEvent(t *testing.T) {
+	l := New(0, 10*time.Second)
+	for _, ts := range []time.Duration{0, 5 * time.Second, 10 * time.Second} {
+		l.Append(Event{Time: ts, Type: EventPacketIn})
+	}
+	segs, err := l.Segment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s.Events)
+	}
+	if total != 3 {
+		t.Errorf("segments cover %d events, want all 3 (End-stamped event must not vanish)", total)
+	}
+	last := segs[len(segs)-1]
+	if len(last.Events) == 0 || last.Events[len(last.Events)-1].Time != 10*time.Second {
+		t.Errorf("last segment %v misses the event at End", last.Events)
+	}
+}
+
+// Property: the binary-search window over a sorted log selects exactly
+// the events a brute-force scan selects, and the unsorted fallback
+// agrees too.
+func TestWindowMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dur := time.Duration(1+rng.Intn(1000)) * time.Millisecond
+		l := New(0, dur)
+		for i, n := 0, rng.Intn(200); i < n; i++ {
+			l.Append(Event{Time: time.Duration(rng.Int63n(int64(dur)))})
+		}
+		if rng.Intn(2) == 0 {
+			l.Sort()
+		}
+		from := time.Duration(rng.Int63n(int64(dur)))
+		to := from + time.Duration(rng.Int63n(int64(dur)))
+		got := l.Window(from, to)
+		want := 0
+		for _, e := range l.Events {
+			if e.Time >= from && e.Time < to {
+				want++
+			}
+		}
+		if len(got.Events) != want {
+			return false
+		}
+		for _, e := range got.Events {
+			if e.Time < from || e.Time >= to {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSegmentPartition(t *testing.T) {
 	// Property: segmentation covers every event exactly once.
 	f := func(seed int64) bool {

@@ -59,6 +59,40 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Merge combines two summaries into the summary Summarize would have
+// produced over the concatenated samples (parallel Welford merge on the
+// second moments recovered from the standard deviations).
+func (s Summary) Merge(o Summary) Summary {
+	if o.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return o
+	}
+	n := s.Count + o.Count
+	delta := o.Mean - s.Mean
+	m2 := s.m2() + o.m2() + delta*delta*float64(s.Count)*float64(o.Count)/float64(n)
+	out := Summary{
+		Count: n,
+		Mean:  s.Mean + delta*float64(o.Count)/float64(n),
+		Min:   math.Min(s.Min, o.Min),
+		Max:   math.Max(s.Max, o.Max),
+		Sum:   s.Sum + o.Sum,
+	}
+	if n > 1 {
+		out.StdDev = math.Sqrt(m2 / float64(n-1))
+	}
+	return out
+}
+
+// m2 recovers the sum of squared deviations from the sample stddev.
+func (s Summary) m2() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return s.StdDev * s.StdDev * float64(s.Count-1)
+}
+
 // Welford accumulates a running mean and standard deviation without
 // retaining samples. The zero value is ready to use.
 type Welford struct {

@@ -56,6 +56,34 @@ func TestWelfordMatchesSummarize(t *testing.T) {
 	}
 }
 
+func TestSummaryMergeMatchesConcat(t *testing.T) {
+	f := func(a, b []int16) bool {
+		xs := make([]float64, len(a))
+		for i, r := range a {
+			xs[i] = float64(r)
+		}
+		ys := make([]float64, len(b))
+		for i, r := range b {
+			ys[i] = float64(r)
+		}
+		got := Summarize(xs).Merge(Summarize(ys))
+		want := Summarize(append(append([]float64(nil), xs...), ys...))
+		if got.Count != want.Count {
+			return false
+		}
+		if got.Count == 0 {
+			return true
+		}
+		return almostEqual(got.Mean, want.Mean, 1e-6) &&
+			almostEqual(got.StdDev, want.StdDev, 1e-6) &&
+			got.Min == want.Min && got.Max == want.Max &&
+			almostEqual(got.Sum, want.Sum, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestWelfordMerge(t *testing.T) {
 	f := func(a, b []int16) bool {
 		var wa, wb, wAll Welford

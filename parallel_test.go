@@ -1,0 +1,86 @@
+package flowdiff_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/faults"
+)
+
+// TestParallelModelingDeterminism is the equivalence gate for the
+// parallel signature pipeline: the same log modeled with 1, 4, and
+// GOMAXPROCS workers must produce identical signatures, stability
+// verdicts, and diff changes, and the concurrent Compare must match the
+// sequential one report for report.
+func TestParallelModelingDeterminism(t *testing.T) {
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:        41,
+		BaselineDur: 45 * time.Second,
+		FaultDur:    45 * time.Second,
+		Faults:      []faults.Injector{faults.HostShutdown{Host: "S3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := res.Options()
+
+	type model struct {
+		base, cur *flowdiff.Signatures
+		changes   []flowdiff.Change
+	}
+	build := func(workers int) model {
+		o := opts
+		o.Parallelism = workers
+		base, err := flowdiff.BuildSignatures(res.L1, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := flowdiff.BuildSignatures(res.L2, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return model{base: base, cur: cur, changes: flowdiff.Diff(base, cur, flowdiff.Thresholds{})}
+	}
+
+	ref := build(1)
+	if len(ref.changes) == 0 {
+		t.Fatal("host shutdown produced no changes; the equivalence check would be vacuous")
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := build(workers)
+		if !reflect.DeepEqual(got.base.Apps, ref.base.Apps) {
+			t.Errorf("workers=%d: baseline app signatures differ", workers)
+		}
+		if !reflect.DeepEqual(got.base.Infra, ref.base.Infra) {
+			t.Errorf("workers=%d: baseline infra signatures differ", workers)
+		}
+		if !reflect.DeepEqual(got.base.Stability, ref.base.Stability) {
+			t.Errorf("workers=%d: baseline stability verdicts differ", workers)
+		}
+		if !reflect.DeepEqual(got.cur.Apps, ref.cur.Apps) {
+			t.Errorf("workers=%d: current app signatures differ", workers)
+		}
+		if !reflect.DeepEqual(got.changes, ref.changes) {
+			t.Errorf("workers=%d: diff changes differ\n got: %v\nwant: %v", workers, got.changes, ref.changes)
+		}
+	}
+
+	seq := opts
+	seq.Parallelism = 1
+	par := opts
+	par.Parallelism = 4
+	seqReport, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parReport, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqReport, parReport) {
+		t.Errorf("concurrent Compare report differs from sequential:\n got: %+v\nwant: %+v", parReport, seqReport)
+	}
+}
