@@ -1,0 +1,19 @@
+# Convenience entry points; scripts/ holds the real logic so CI and
+# humans run exactly the same commands.
+
+.PHONY: test race ci bench
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full verification gate: vet + build + race tests + bench smoke.
+ci:
+	./scripts/ci.sh
+
+# Perf trajectory: runs the hot-path benchmarks and writes
+# bench_results/BENCH_<n>.json (see scripts/bench.sh for knobs).
+bench:
+	./scripts/bench.sh

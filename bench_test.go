@@ -161,12 +161,18 @@ func BenchmarkDiffPipeline(b *testing.B) {
 // signature component (CG/FS/CI/DD/PC) at a controlled event count,
 // which the simulator-driven benches cannot.
 func synthThreeTierLog(nEvents int) *flowdiff.Log {
+	return synthThreeTierStream(0, 5*time.Minute, nEvents)
+}
+
+// synthThreeTierStream is synthThreeTierLog generalized to an arbitrary
+// interval, so monitor benchmarks can generate a continuous stream that
+// starts where the baseline log ends.
+func synthThreeTierStream(start, dur time.Duration, nEvents int) *flowdiff.Log {
 	const (
 		groups       = 8
-		dur          = 5 * time.Minute
 		eventsPerReq = 10 // 2 flows x (2 PacketIn + 2 FlowMod + 1 FlowRemoved)
 	)
-	l := flowlog.New(0, dur)
+	l := flowlog.New(start, start+dur)
 	reqs := nEvents / (groups * eventsPerReq)
 	if reqs < 1 {
 		reqs = 1
@@ -184,7 +190,7 @@ func synthThreeTierLog(nEvents int) *flowdiff.Log {
 			Bytes: 30000, Packets: 40, FlowDuration: 400 * time.Millisecond})
 	}
 	for i := 0; i < reqs; i++ {
-		t0 := time.Duration(i+1) * step
+		t0 := start + time.Duration(i+1)*step
 		port := uint16(1024 + i%50000)
 		for g := 0; g < groups; g++ {
 			sw1, sw2 := fmt.Sprintf("sw%d-1", g), fmt.Sprintf("sw%d-2", g)
@@ -204,7 +210,11 @@ func synthThreeTierLog(nEvents int) *flowdiff.Log {
 func BenchmarkBuildSignatures(b *testing.B) {
 	for _, n := range []int{10_000, 100_000, 500_000} {
 		log := synthThreeTierLog(n)
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workerCounts := []int{1}
+		if p := runtime.GOMAXPROCS(0); p != 1 {
+			workerCounts = append(workerCounts, p)
+		}
+		for _, workers := range workerCounts {
 			b.Run(fmt.Sprintf("events=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
 				opts := flowdiff.Options{Parallelism: workers}
 				b.ResetTimer()
@@ -218,6 +228,67 @@ func BenchmarkBuildSignatures(b *testing.B) {
 	}
 }
 
+// BenchmarkOccurrences isolates occurrence extraction — the dominant
+// cost of the modeling phase — serial and sharded by flow-key hash
+// across worker counts. On a single-CPU host the sharded variants
+// measure overhead, not speedup; shards run concurrently only when
+// cores exist to carry them.
+func BenchmarkOccurrences(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, n := range []int{100_000, 500_000} {
+		log := synthThreeTierLog(n)
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("events=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					signature.OccurrencesSharded(log, 0, workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMonitorFlush drives a monitor over a growing stream with a
+// fixed 30s window and constant per-window event density, reporting
+// ns/window. Per-window cost staying flat as the stream grows is the
+// incremental engine's contract: extraction state is per-window, group
+// discovery is cached, and nothing rescans history.
+func BenchmarkMonitorFlush(b *testing.B) {
+	const (
+		window    = 30 * time.Second
+		perWindow = 5_000 // events per window
+	)
+	baseline := synthThreeTierLog(20_000)
+	for _, windows := range []int{4, 16, 64} {
+		stream := synthThreeTierStream(baseline.End, time.Duration(windows)*window, windows*perWindow)
+		b.Run(fmt.Sprintf("windows=%d", windows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // the one-off baseline build is not per-window cost
+				m, err := flowdiff.NewMonitor(baseline, window, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, e := range stream.Events {
+					if _, err := m.Observe(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := m.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				if got := len(m.Reports()); got < windows-1 {
+					b.Fatalf("only %d reports for %d windows", got, windows)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
+		})
+	}
+}
+
 // BenchmarkAnalyzeStability isolates the per-interval stability
 // analysis, historically the most extraction-heavy stage (it used to
 // re-run occurrence extraction once per interval plus once whole-log).
@@ -225,7 +296,11 @@ func BenchmarkAnalyzeStability(b *testing.B) {
 	for _, n := range []int{10_000, 100_000, 500_000} {
 		log := synthThreeTierLog(n)
 		r := appgroup.NewResolver(nil)
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workerCounts := []int{1}
+		if p := runtime.GOMAXPROCS(0); p != 1 {
+			workerCounts = append(workerCounts, p)
+		}
+		for _, workers := range workerCounts {
 			b.Run(fmt.Sprintf("events=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
 				cfg := signature.Config{Parallelism: workers}
 				b.ResetTimer()

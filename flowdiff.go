@@ -117,14 +117,23 @@ type Signatures struct {
 }
 
 // BuildSignatures runs FlowDiff's modeling phase on a log. The phase is
-// single-pass: flow occurrences are extracted once and shared by the
-// application, infrastructure, and stability builds, which fan out onto
-// a worker pool bounded by Options.Parallelism.
+// single-pass: flow occurrences are extracted once — sharded by
+// flow-key hash across the worker pool on large logs — and shared by
+// the application, infrastructure, and stability builds, which fan out
+// onto a worker pool bounded by Options.Parallelism.
 func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
 	if log == nil {
 		return nil, fmt.Errorf("flowdiff: nil log")
 	}
 	p := signature.NewPipeline(log, opts.resolver(), opts.sigConfig())
+	return signaturesFromPipeline(log, p, opts)
+}
+
+// signaturesFromPipeline builds every signature product from a prepared
+// pipeline. Shared between BuildSignatures (which extracts occurrences
+// itself) and Monitor (which hands the pipeline incrementally extracted
+// occurrences and cached groups).
+func signaturesFromPipeline(log *Log, p *signature.Pipeline, opts Options) (*Signatures, error) {
 	apps := p.App()
 	infra := p.Infra()
 	var stab map[string]Stability

@@ -96,8 +96,28 @@ func BuildEdges(log *flowlog.Log, r *Resolver) map[Edge]int {
 // and belong to no group, but edges touching them are attributed to the
 // group of their non-special endpoint (paper §III-B).
 func Discover(log *flowlog.Log, r *Resolver, special map[topology.NodeID]bool) []Group {
-	edges := BuildEdges(log, r)
+	return DiscoverFromEdges(BuildEdges(log, r), special)
+}
 
+// SameEdgeSet reports whether two BuildEdges results contain the same
+// edges. Counts are ignored: group discovery depends only on which edges
+// exist, so two logs with equal edge sets discover identical groups —
+// the invariant behind Monitor's cross-window group cache.
+func SameEdgeSet(a, b map[Edge]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if _, ok := b[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DiscoverFromEdges is Discover over an already-built edge set; its
+// output is a pure function of the edge set and the special-node marks.
+func DiscoverFromEdges(edges map[Edge]int, special map[topology.NodeID]bool) []Group {
 	// Union-find over non-special nodes.
 	parent := make(map[topology.NodeID]topology.NodeID)
 	var find func(topology.NodeID) topology.NodeID

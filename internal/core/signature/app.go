@@ -141,7 +141,10 @@ func BuildApp(log *flowlog.Log, r *appgroup.Resolver, cfg Config) []AppSignature
 }
 
 func buildAppFromOccs(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
-	groups := appgroup.Discover(log, r, cfg.Special)
+	return buildAppFromGroups(log, r, cfg, occs, appgroup.Discover(log, r, cfg.Special))
+}
+
+func buildAppFromGroups(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence, groups []appgroup.Group) []AppSignature {
 	if len(groups) == 0 {
 		return nil
 	}

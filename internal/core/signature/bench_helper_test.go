@@ -1,0 +1,50 @@
+package signature
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"flowdiff/internal/flowlog"
+)
+
+// benchLog builds a deterministic three-tier control log of roughly
+// nEvents events (mirroring the root package's synthetic benchmark
+// workload) for extraction benchmarks inside this package.
+func benchLog(nEvents int) *flowlog.Log {
+	const (
+		groups       = 8
+		dur          = 5 * time.Minute
+		eventsPerReq = 10
+	)
+	l := flowlog.New(0, dur)
+	reqs := nEvents / (groups * eventsPerReq)
+	if reqs < 1 {
+		reqs = 1
+	}
+	step := dur / time.Duration(reqs+1)
+	host := func(g, role int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, byte(g), byte(role), 1})
+	}
+	emit := func(k flowlog.FlowKey, at time.Duration, sw1, sw2 string) {
+		l.Append(flowlog.Event{Time: at, Type: flowlog.EventPacketIn, Switch: sw1, Flow: k})
+		l.Append(flowlog.Event{Time: at + time.Millisecond, Type: flowlog.EventFlowMod, Switch: sw1, Flow: k})
+		l.Append(flowlog.Event{Time: at + 2*time.Millisecond, Type: flowlog.EventPacketIn, Switch: sw2, Flow: k})
+		l.Append(flowlog.Event{Time: at + 3*time.Millisecond, Type: flowlog.EventFlowMod, Switch: sw2, Flow: k})
+		l.Append(flowlog.Event{Time: at + 500*time.Millisecond, Type: flowlog.EventFlowRemoved, Switch: sw1, Flow: k,
+			Bytes: 30000, Packets: 40, FlowDuration: 400 * time.Millisecond})
+	}
+	for i := 0; i < reqs; i++ {
+		t0 := time.Duration(i+1) * step
+		port := uint16(1024 + i%50000)
+		for g := 0; g < groups; g++ {
+			sw1, sw2 := fmt.Sprintf("sw%d-1", g), fmt.Sprintf("sw%d-2", g)
+			front := flowlog.FlowKey{Proto: 6, Src: host(g, 1), Dst: host(g, 2), SrcPort: port, DstPort: 80}
+			back := flowlog.FlowKey{Proto: 6, Src: host(g, 2), Dst: host(g, 3), SrcPort: port, DstPort: 3306}
+			emit(front, t0, sw1, sw2)
+			emit(back, t0+10*time.Millisecond, sw1, sw2)
+		}
+	}
+	l.Sort()
+	return l
+}

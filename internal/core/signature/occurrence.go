@@ -46,24 +46,96 @@ func (o Occurrence) Switches() []string {
 // separates episodes.
 const DefaultOccurrenceGap = time.Second
 
-// Occurrences extracts flow episodes from a log. Events are grouped per
-// flow key, ordered by time, and split wherever the gap between
-// consecutive control events of the key exceeds gap (<=0 uses
-// DefaultOccurrenceGap). The result is ordered by start time.
-func Occurrences(log *flowlog.Log, gap time.Duration) []Occurrence {
-	if gap <= 0 {
-		gap = DefaultOccurrenceGap
-	}
-	// Work with indices into log.Events to avoid copying the (large)
-	// Event structs while grouping.
-	perKey := make(map[flowlog.FlowKey][]int32)
-	for i := range log.Events {
-		t := log.Events[i].Type
-		if t != flowlog.EventPacketIn && t != flowlog.EventFlowMod {
-			continue
+// compareKeys orders flow keys by field (proto, src, src port, dst, dst
+// port) without allocating. It replaces the former Key.String()
+// comparison in the occurrence sort, which built two strings per
+// comparison and dominated extraction allocs on large logs.
+func compareKeys(a, b flowlog.FlowKey) int {
+	if a.Proto != b.Proto {
+		if a.Proto < b.Proto {
+			return -1
 		}
-		perKey[log.Events[i].Flow] = append(perKey[log.Events[i].Flow], int32(i))
+		return 1
 	}
+	if c := a.Src.Compare(b.Src); c != 0 {
+		return c
+	}
+	if a.SrcPort != b.SrcPort {
+		if a.SrcPort < b.SrcPort {
+			return -1
+		}
+		return 1
+	}
+	if c := a.Dst.Compare(b.Dst); c != 0 {
+		return c
+	}
+	if a.DstPort != b.DstPort {
+		if a.DstPort < b.DstPort {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// occLess is the canonical occurrence order: start time, then key. Two
+// distinct occurrences never compare equal under it (episodes of one key
+// are gap-separated, so they cannot share a start), which is what makes
+// serial sorting, sharded merging, and streaming extraction produce the
+// exact same slice.
+func occLess(a, b Occurrence) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return compareKeys(a.Key, b.Key) < 0
+}
+
+// relevant reports whether an event participates in occurrence
+// extraction (only the control messages of path setup do).
+func relevant(t flowlog.EventType) bool {
+	return t == flowlog.EventPacketIn || t == flowlog.EventFlowMod
+}
+
+// episodeStart is the episode's start time: the earliest PacketIn, or —
+// for episodes with no PacketIn (wildcard-mode FlowMods keyed by the
+// installed match) — the first event's time.
+func episodeStart(events []flowlog.Event) time.Duration {
+	for _, e := range events {
+		if e.Type == flowlog.EventPacketIn {
+			return e.Time
+		}
+	}
+	return events[0].Time
+}
+
+// appendEpisode appends one closed episode (a capacity-capped subslice of
+// a per-key buffer) as an Occurrence.
+func appendEpisode(out []Occurrence, key flowlog.FlowKey, events []flowlog.Event) []Occurrence {
+	if len(events) == 0 {
+		return out
+	}
+	return append(out, Occurrence{Key: key, Start: episodeStart(events), Events: events})
+}
+
+// splitEpisodes splits one key's time-sorted event buffer at gaps and
+// appends the resulting episodes to out. Episodes are subslices of buf.
+func splitEpisodes(out []Occurrence, key flowlog.FlowKey, buf []flowlog.Event, gap time.Duration) []Occurrence {
+	epStart := 0
+	for j := 1; j < len(buf); j++ {
+		if buf[j].Time-buf[j-1].Time > gap {
+			out = appendEpisode(out, key, buf[epStart:j:j])
+			epStart = j
+		}
+	}
+	return appendEpisode(out, key, buf[epStart:len(buf):len(buf)])
+}
+
+// extractFromIdxs turns a per-key index grouping into the start-sorted
+// occurrence slice. It is the shared tail of the serial and sharded
+// extraction paths: per key, copy the events into one contiguous buffer
+// (sorting the indices first only when the log is out of order) and
+// split it at gaps.
+func extractFromIdxs(log *flowlog.Log, perKey map[flowlog.FlowKey][]int32, gap time.Duration) []Occurrence {
 	out := make([]Occurrence, 0, len(perKey))
 	for key, idxs := range perKey {
 		// Logs are normally already time-sorted, in which case the
@@ -86,41 +158,30 @@ func Occurrences(log *flowlog.Log, gap time.Duration) []Occurrence {
 		for j, idx := range idxs {
 			buf[j] = log.Events[idx]
 		}
-		epStart := 0
-		flush := func(end int) {
-			if end == epStart {
-				return
-			}
-			events := buf[epStart:end:end]
-			occ := Occurrence{Key: key, Events: events}
-			found := false
-			for _, e := range events {
-				if e.Type == flowlog.EventPacketIn {
-					occ.Start = e.Time
-					found = true
-					break
-				}
-			}
-			// Episodes with no PacketIn (wildcard-mode FlowMods keyed by
-			// the installed match) fall back to the first event's time.
-			if !found {
-				occ.Start = events[0].Time
-			}
-			out = append(out, occ)
-			epStart = end
-		}
-		for j := 1; j < len(buf); j++ {
-			if buf[j].Time-buf[j-1].Time > gap {
-				flush(j)
-			}
-		}
-		flush(len(buf))
+		out = splitEpisodes(out, key, buf, gap)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
-		}
-		return out[i].Key.String() < out[j].Key.String()
-	})
+	sort.Slice(out, func(i, j int) bool { return occLess(out[i], out[j]) })
 	return out
+}
+
+// Occurrences extracts flow episodes from a log. Events are grouped per
+// flow key, ordered by time, and split wherever the gap between
+// consecutive control events of the key exceeds gap (<=0 uses
+// DefaultOccurrenceGap). The result is ordered by start time (ties
+// broken by key), the canonical order shared with OccurrencesSharded
+// and StreamExtractor.
+func Occurrences(log *flowlog.Log, gap time.Duration) []Occurrence {
+	if gap <= 0 {
+		gap = DefaultOccurrenceGap
+	}
+	// Work with indices into log.Events to avoid copying the (large)
+	// Event structs while grouping.
+	perKey := make(map[flowlog.FlowKey][]int32)
+	for i := range log.Events {
+		if !relevant(log.Events[i].Type) {
+			continue
+		}
+		perKey[log.Events[i].Flow] = append(perKey[log.Events[i].Flow], int32(i))
+	}
+	return extractFromIdxs(log, perKey, gap)
 }

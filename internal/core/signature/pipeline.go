@@ -31,23 +31,60 @@ type Pipeline struct {
 	r    *appgroup.Resolver
 	cfg  Config
 	occs []Occurrence
+	// groups caches application-group discovery for the whole log;
+	// hasGroups distinguishes "not discovered yet" from "discovered
+	// (possibly empty)". Monitor seeds it across windows via SetGroups.
+	groups    []appgroup.Group
+	hasGroups bool
 }
 
-// NewPipeline extracts the log's flow occurrences once and returns a
-// pipeline that builds every signature product from them.
+// NewPipeline extracts the log's flow occurrences once — sharded by
+// flow-key hash across Config.Parallelism workers on large logs — and
+// returns a pipeline that builds every signature product from them.
 func NewPipeline(log *flowlog.Log, r *appgroup.Resolver, cfg Config) *Pipeline {
 	cfg = cfg.withDefaults()
-	return &Pipeline{log: log, r: r, cfg: cfg, occs: Occurrences(log, cfg.OccurrenceGap)}
+	occs := OccurrencesSharded(log, cfg.OccurrenceGap, cfg.workers())
+	return &Pipeline{log: log, r: r, cfg: cfg, occs: occs}
+}
+
+// NewPipelineFromOccurrences builds a pipeline over already-extracted
+// occurrences, skipping the extraction pass entirely. The occurrences
+// must be in canonical order (as produced by Occurrences,
+// OccurrencesSharded, or StreamExtractor.Flush) and cover exactly the
+// given log; Monitor uses this to reuse each window's incrementally
+// extracted episodes. The pipeline takes ownership of the slice.
+func NewPipelineFromOccurrences(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) *Pipeline {
+	cfg = cfg.withDefaults()
+	return &Pipeline{log: log, r: r, cfg: cfg, occs: occs}
 }
 
 // Occurrences returns the shared flow episodes, ordered by start time.
 // The slice is owned by the pipeline and must not be mutated.
 func (p *Pipeline) Occurrences() []Occurrence { return p.occs }
 
+// Groups returns the log's application groups, discovering them on
+// first use (or returning the SetGroups seed).
+func (p *Pipeline) Groups() []appgroup.Group {
+	if !p.hasGroups {
+		p.groups = appgroup.Discover(p.log, p.r, p.cfg.Special)
+		p.hasGroups = true
+	}
+	return p.groups
+}
+
+// SetGroups seeds group discovery with an already-discovered result.
+// Discovery depends only on the log's host edge set, so a caller that
+// knows the edge set is unchanged from a previous log (Monitor, across
+// windows) can carry the groups over instead of rediscovering.
+func (p *Pipeline) SetGroups(groups []appgroup.Group) {
+	p.groups = groups
+	p.hasGroups = true
+}
+
 // App builds the per-group application signatures from the shared
 // occurrences, one worker-pool task per group.
 func (p *Pipeline) App() []AppSignature {
-	return buildAppFromOccs(p.log, p.r, p.cfg, p.occs)
+	return buildAppFromGroups(p.log, p.r, p.cfg, p.occs, p.Groups())
 }
 
 // Infra builds the infrastructure signature from the shared occurrences.

@@ -1,0 +1,127 @@
+package signature
+
+import (
+	"runtime"
+	"time"
+
+	"flowdiff/internal/flowlog"
+)
+
+// shardedMinEvents is the log size below which sharded extraction falls
+// back to the serial path: the hash pass and merge overhead only pay for
+// themselves on logs large enough that grouping dominates.
+const shardedMinEvents = 2048
+
+// hashKey is an FNV-1a hash of the flow 5-tuple, used only to assign
+// keys to extraction shards. It must depend on nothing but the key, so
+// every event of a key lands in the same shard.
+func hashKey(k flowlog.FlowKey) uint32 {
+	const prime32 = 16777619
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	mix(k.Proto)
+	src := k.Src.As16()
+	for _, b := range src {
+		mix(b)
+	}
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	dst := k.Dst.As16()
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	return h
+}
+
+// OccurrencesSharded extracts the same episodes as Occurrences by
+// sharding flow keys across workers goroutines (workers <= 0 uses one
+// per CPU). Extraction is two parallel passes:
+//
+//  1. the event slice is chunked across the pool and each control
+//     event's key is hashed once into a shared table (a zero entry marks
+//     a non-control event; real hashes have their high bit forced set);
+//  2. each worker owns the keys whose hash maps to its shard, walks the
+//     hash table picking out its events, and runs the serial
+//     group-and-split tail (extractFromIdxs) on its disjoint key set.
+//
+// Every per-shard output is already in canonical occurrence order
+// (start time, then key — a total order), so a k-way merge reproduces
+// the serial result exactly: byte-identical for every worker count,
+// pinned by TestOccurrencesShardedMatchesSerial.
+func OccurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occurrence {
+	if gap <= 0 {
+		gap = DefaultOccurrenceGap
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(log.Events)
+	if workers <= 1 || n < shardedMinEvents {
+		return Occurrences(log, gap)
+	}
+	const liveBit = 1 << 31
+	hs := make([]uint32, n)
+	parallelFor(workers, workers, func(c int) {
+		lo, hi := n*c/workers, n*(c+1)/workers
+		for i := lo; i < hi; i++ {
+			if relevant(log.Events[i].Type) {
+				hs[i] = hashKey(log.Events[i].Flow) | liveBit
+			}
+		}
+	})
+	parts := make([][]Occurrence, workers)
+	parallelFor(workers, workers, func(w int) {
+		perKey := make(map[flowlog.FlowKey][]int32)
+		for i := 0; i < n; i++ {
+			h := hs[i]
+			if h == 0 || int(h&^uint32(liveBit))%workers != w {
+				continue
+			}
+			perKey[log.Events[i].Flow] = append(perKey[log.Events[i].Flow], int32(i))
+		}
+		parts[w] = extractFromIdxs(log, perKey, gap)
+	})
+	return mergeOccurrences(parts)
+}
+
+// mergeOccurrences k-way merges per-shard occurrence slices that are
+// each sorted in canonical order. The comparator is a total order over
+// distinct occurrences, so the merge result does not depend on the
+// shard count or shard assignment.
+func mergeOccurrences(parts [][]Occurrence) []Occurrence {
+	live := parts[:0]
+	total := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			live = append(live, p)
+			total += len(p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return []Occurrence{}
+	case 1:
+		return live[0]
+	}
+	out := make([]Occurrence, 0, total)
+	idx := make([]int, len(live))
+	for len(out) < total {
+		best := -1
+		for w := range live {
+			if idx[w] >= len(live[w]) {
+				continue
+			}
+			if best < 0 || occLess(live[w][idx[w]], live[best][idx[best]]) {
+				best = w
+			}
+		}
+		out = append(out, live[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/core/signature"
 	"flowdiff/internal/flowlog"
 )
 
@@ -12,18 +14,58 @@ import (
 // compared against the frozen baseline — the operational mode §III
 // sketches ("FlowDiff frequently models the behavior of a data center").
 //
+// The modeling cost per window is O(window events), independent of how
+// long the monitor has been running: occurrence extraction happens
+// incrementally as events are observed (signature.StreamExtractor keeps
+// per-key open episodes across appends), Flush only closes out the
+// window's episodes and hands the shared slice to the signature
+// pipeline, and application-group discovery is cached across windows —
+// rediscovered only when the window's host edge set changes.
+//
+// Flush boundaries are aligned to a fixed grid: every automatic window
+// is [baseline.End + k·window, baseline.End + (k+1)·window). A burst
+// followed by a quiet gap therefore produces normal-width windows and
+// then silence — never one oversized window spanning the gap. Grid
+// cells with no events produce no report, and windows with fewer flow
+// occurrences than Options.Stability.MinSamples (default 3) abstain
+// from diagnosis, mirroring the paper's per-interval stability
+// abstention: a near-empty sliver (the tail of a burst, or the residue
+// a final Flush finds past the last grid boundary) carries too little
+// traffic to model and would otherwise always diff as "every group
+// disappeared". Detecting total silence is a liveness watchdog's job,
+// not a behavior differ's.
+//
 // Monitor is not safe for concurrent use; feed it from the goroutine that
 // owns the event source (the simulator loop or a controller.Server
 // drainer).
 type Monitor struct {
-	opts      Options
-	th        Thresholds
-	window    time.Duration
-	automata  []*TaskAutomaton
-	baseline  *Signatures
-	buf       *flowlog.Log
-	lastFlush time.Duration
-	reports   []MonitorReport
+	opts     Options
+	th       Thresholds
+	window   time.Duration
+	automata []*TaskAutomaton
+	baseline *Signatures
+	r        *appgroup.Resolver
+	sigCfg   signature.Config
+
+	buf *flowlog.Log
+	ex  *signature.StreamExtractor
+	// origin anchors the window grid (the baseline's end); next is the
+	// grid boundary at which the buffered window flushes.
+	origin time.Duration
+	next   time.Duration
+
+	// Cross-window group-discovery cache: groups is reused as long as a
+	// window's host edge set equals groupEdges (discovery is a pure
+	// function of the edge set).
+	groupEdges  map[appgroup.Edge]int
+	groups      []appgroup.Group
+	groupsValid bool
+
+	// minOcc is the minimum flow-occurrence count a window needs to be
+	// diagnosed; sparser windows abstain.
+	minOcc int
+
+	reports []MonitorReport
 }
 
 // MonitorReport is one window's diagnosis.
@@ -35,7 +77,8 @@ type MonitorReport struct {
 
 // NewMonitor creates a monitor against a baseline built from a
 // known-good log. window controls how often diffs are produced (default
-// 1 minute).
+// 1 minute); automatic flushes land on multiples of window past the
+// baseline's end.
 func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, th Thresholds, opts Options) (*Monitor, error) {
 	if window <= 0 {
 		window = time.Minute
@@ -44,43 +87,86 @@ func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, 
 	if err != nil {
 		return nil, fmt.Errorf("flowdiff: building monitor baseline: %w", err)
 	}
+	sigCfg := opts.sigConfig()
+	minOcc := opts.Stability.MinSamples
+	if minOcc <= 0 {
+		minOcc = 3
+	}
 	return &Monitor{
-		opts:      opts,
-		th:        th,
-		window:    window,
-		automata:  automata,
-		baseline:  base,
-		buf:       flowlog.New(baseline.End, baseline.End),
-		lastFlush: baseline.End,
+		opts:     opts,
+		th:       th,
+		window:   window,
+		automata: automata,
+		baseline: base,
+		r:        opts.resolver(),
+		sigCfg:   sigCfg,
+		buf:      flowlog.New(baseline.End, baseline.End),
+		ex:       signature.NewStreamExtractor(sigCfg.OccurrenceGap),
+		origin:   baseline.End,
+		next:     baseline.End + window,
+		minOcc:   minOcc,
 	}, nil
 }
 
 // Baseline exposes the frozen baseline signatures.
 func (m *Monitor) Baseline() *Signatures { return m.baseline }
 
-// Observe appends one control event. Whenever the buffered interval
-// reaches the window length, the interval is diagnosed and the resulting
-// report returned (nil otherwise). Events must arrive in time order.
+// Observe appends one control event. When the event crosses the current
+// window's grid boundary, the buffered window is diagnosed first and
+// the resulting report returned (nil otherwise); the event then opens
+// the grid cell containing it. Events must arrive in time order.
 func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
-	if e.Time < m.lastFlush {
-		return nil, fmt.Errorf("flowdiff: event at %v precedes current window start %v", e.Time, m.lastFlush)
+	if e.Time < m.buf.Start {
+		return nil, fmt.Errorf("flowdiff: event at %v precedes current window start %v", e.Time, m.buf.Start)
+	}
+	var rep *MonitorReport
+	if e.Time >= m.next {
+		r, err := m.flushTo(m.next)
+		if err != nil {
+			return nil, err
+		}
+		rep = r
+		// Jump to the grid cell containing e; cells skipped during a
+		// quiet gap produce no windows.
+		start := m.origin + (e.Time-m.origin)/m.window*m.window
+		m.next = start + m.window
+		m.buf = flowlog.New(start, start)
 	}
 	m.buf.Append(e)
-	m.buf.End = e.Time
-	if e.Time-m.lastFlush < m.window {
-		return nil, nil
+	if e.Time > m.buf.End {
+		m.buf.End = e.Time
 	}
-	return m.Flush()
+	m.ex.Append(e)
+	return rep, nil
 }
 
-// Flush diagnoses the buffered interval immediately (also called
-// internally when a window fills). Returns nil when the buffer is empty.
+// Flush diagnoses the buffered partial window immediately (automatic
+// flushes happen inside Observe when a grid boundary is crossed). The
+// report covers [window start, last observed event]. Returns nil when
+// the buffer is empty.
 func (m *Monitor) Flush() (*MonitorReport, error) {
 	if len(m.buf.Events) == 0 {
-		m.lastFlush = m.buf.End
 		return nil, nil
 	}
-	cur, err := BuildSignatures(m.buf, m.opts)
+	return m.flushTo(m.buf.End)
+}
+
+// flushTo diagnoses the buffered interval as the window [buf.Start, to)
+// and resets the buffer to start at to. An empty buffer (a grid cell
+// that saw no events) produces no report.
+func (m *Monitor) flushTo(to time.Duration) (*MonitorReport, error) {
+	if len(m.buf.Events) == 0 {
+		m.buf = flowlog.New(to, to)
+		return nil, nil
+	}
+	m.buf.End = to
+	occs := m.ex.Flush()
+	if len(occs) < m.minOcc {
+		// Too sparse to model; abstain (see the type comment).
+		m.buf = flowlog.New(to, to)
+		return nil, nil
+	}
+	cur, err := m.signaturesFor(m.buf, occs)
 	if err != nil {
 		return nil, err
 	}
@@ -88,13 +174,27 @@ func (m *Monitor) Flush() (*MonitorReport, error) {
 	tasks := DetectTasks(m.buf, m.automata, m.opts.Signature.OccurrenceGap)
 	rep := MonitorReport{
 		From:   m.buf.Start,
-		To:     m.buf.End,
+		To:     to,
 		Report: Diagnose(changes, tasks, m.opts),
 	}
 	m.reports = append(m.reports, rep)
-	m.buf = flowlog.New(m.buf.End, m.buf.End)
-	m.lastFlush = rep.To
+	m.buf = flowlog.New(to, to)
 	return &rep, nil
+}
+
+// signaturesFor models one window from its incrementally extracted
+// occurrences, reusing the previous window's application groups when
+// the host edge set is unchanged.
+func (m *Monitor) signaturesFor(log *Log, occs []signature.Occurrence) (*Signatures, error) {
+	p := signature.NewPipelineFromOccurrences(log, m.r, m.sigCfg, occs)
+	edges := appgroup.BuildEdges(log, m.r)
+	if !m.groupsValid || !appgroup.SameEdgeSet(edges, m.groupEdges) {
+		m.groups = appgroup.DiscoverFromEdges(edges, m.sigCfg.Special)
+		m.groupEdges = edges
+		m.groupsValid = true
+	}
+	p.SetGroups(m.groups)
+	return signaturesFromPipeline(log, p, m.opts)
 }
 
 // Reports returns every report produced so far.

@@ -1,10 +1,13 @@
 package flowdiff
 
 import (
+	"net/netip"
+	"reflect"
 	"testing"
 	"time"
 
 	"flowdiff/internal/faults"
+	"flowdiff/internal/flowlog"
 	"flowdiff/internal/workload"
 )
 
@@ -122,6 +125,130 @@ func TestMonitorValidatesTasks(t *testing.T) {
 	}
 	if known == 0 {
 		t.Error("migration changes were not validated by the monitor")
+	}
+}
+
+// monitorChainEvents emits a burst of A->B / B->C control traffic into
+// events, one request every step, over [from, to).
+func monitorChainEvents(from, to, step time.Duration) []flowlog.Event {
+	host := func(last byte) netip.Addr { return netip.AddrFrom4([4]byte{10, 7, 0, last}) }
+	var out []flowlog.Event
+	i := 0
+	for t0 := from; t0 < to; t0 += step {
+		port := uint16(1024 + i%40000)
+		i++
+		ab := flowlog.FlowKey{Proto: 6, Src: host(1), Dst: host(2), SrcPort: port, DstPort: 80}
+		bc := flowlog.FlowKey{Proto: 6, Src: host(2), Dst: host(3), SrcPort: port, DstPort: 3306}
+		for _, k := range []flowlog.FlowKey{ab, bc} {
+			out = append(out,
+				flowlog.Event{Time: t0, Type: flowlog.EventPacketIn, Switch: "sw1", Flow: k},
+				flowlog.Event{Time: t0 + time.Millisecond, Type: flowlog.EventFlowMod, Switch: "sw1", Flow: k},
+			)
+		}
+	}
+	return out
+}
+
+// Regression for the fixed window grid: a burst followed by a long
+// quiet gap must never produce one oversized window spanning the gap —
+// the old monitor flushed [lastFlush, firstEventAfterGap], so a 7-minute
+// silence yielded a 7.5-minute "window".
+func TestMonitorGridAlignedWindows(t *testing.T) {
+	window := time.Minute
+	baseline := flowlog.New(0, 2*time.Minute)
+	baseline.Events = monitorChainEvents(0, 2*time.Minute, 200*time.Millisecond)
+	m, err := NewMonitor(baseline, window, nil, Thresholds{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := baseline.End
+	// Burst for 30s, silence for ~7min, burst again, then a final
+	// partial window.
+	var stream []flowlog.Event
+	stream = append(stream, monitorChainEvents(origin, origin+30*time.Second, 100*time.Millisecond)...)
+	stream = append(stream, monitorChainEvents(origin+8*time.Minute, origin+9*time.Minute+30*time.Second, 100*time.Millisecond)...)
+	for _, e := range stream {
+		if _, err := m.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reports := m.Reports()
+	if len(reports) < 3 {
+		t.Fatalf("got %d reports, want >= 3 (burst window, post-gap windows, final partial)", len(reports))
+	}
+	for _, r := range reports {
+		if r.To-r.From > window {
+			t.Errorf("oversized window [%v,%v): width %v > %v", r.From, r.To, r.To-r.From, window)
+		}
+		if (r.From-origin)%window != 0 {
+			t.Errorf("window [%v,%v) does not start on the grid (origin %v, window %v)", r.From, r.To, origin, window)
+		}
+	}
+	// No report may cover any part of the quiet gap's interior cells.
+	gapFrom, gapTo := origin+time.Minute, origin+8*time.Minute
+	for _, r := range reports {
+		if r.From >= gapFrom && r.To <= gapTo {
+			t.Errorf("report [%v,%v) covers the quiet gap; empty cells must stay silent", r.From, r.To)
+		}
+	}
+}
+
+// TestMonitorStreamingMatchesBatch pins the streaming engine end to
+// end: every report the monitor produces (incremental extraction,
+// cached group discovery, shared occurrence slice) must be identical to
+// modeling the same window from scratch with BuildSignatures — for
+// sequential and parallel builds.
+func TestMonitorStreamingMatchesBatch(t *testing.T) {
+	res, err := RunScenario(Scenario{Seed: 207})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opts := res.Options()
+		opts.Parallelism = workers
+		m, err := NewMonitor(res.L1, 45*time.Second, nil, Thresholds{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.L2.Events {
+			if _, err := m.Observe(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		reports := m.Reports()
+		if len(reports) < 3 {
+			t.Fatalf("workers=%d: only %d reports; equivalence would be vacuous", workers, len(reports))
+		}
+		base, err := BuildSignatures(res.L1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range reports {
+			wl := flowlog.New(r.From, r.To)
+			last := i == len(reports)-1
+			for _, e := range res.L2.Events {
+				// Automatic windows are [From, To); the final manual
+				// flush closes at the last observed event, inclusive.
+				if e.Time >= r.From && (e.Time < r.To || (last && e.Time == r.To)) {
+					wl.Append(e)
+				}
+			}
+			cur, err := BuildSignatures(wl, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			changes := Diff(base, cur, Thresholds{})
+			want := Diagnose(changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
+			if !reflect.DeepEqual(r.Report, want) {
+				t.Errorf("workers=%d window [%v,%v): streaming report differs from batch rebuild", workers, r.From, r.To)
+			}
+		}
 	}
 }
 

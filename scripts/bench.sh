@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Perf-trajectory tracker: runs the benchmarks that gate the hot paths
+# (BuildSignatures, occurrence extraction, Monitor flush) and writes a
+# machine-readable bench_results/BENCH_<n>.json, so speedups and
+# regressions are comparable across PRs.
+#
+# Usage: scripts/bench.sh            (default -benchtime 3x)
+#        BENCHTIME=10x scripts/bench.sh
+#        BENCH_FILTER='BenchmarkOccurrences' scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+mkdir -p bench_results
+n=1
+while [ -e "bench_results/BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="bench_results/BENCH_${n}.json"
+
+benchtime="${BENCHTIME:-3x}"
+filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" \
+	. ./internal/core/signature | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" '
+BEGIN { printf "{\n  \"schema\": 1,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, goversion; nbench = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1; iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (m != "") m = m ", "
+		m = m sprintf("\"%s\": %s", $(i + 1), $i)
+	}
+	if (nbench > 0) benches = benches ",\n"
+	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
+	nbench++
+}
+END {
+	printf "  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", cpu, benches
+}' "$raw" > "$out"
+
+echo "wrote $out"
