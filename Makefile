@@ -1,13 +1,18 @@
 # Convenience entry points; scripts/ holds the real logic so CI and
 # humans run exactly the same commands.
 
-.PHONY: test race ci bench
+.PHONY: test race lint ci bench
 
 test:
 	go test ./...
 
 race:
 	go test -race ./...
+
+# Static analysis: FlowDiff's own analyzer suite (determinism and
+# concurrency invariants; see DESIGN.md "Determinism invariants").
+lint:
+	go run ./cmd/flowdifflint ./...
 
 # Full verification gate: vet + build + race tests + bench smoke.
 ci:

@@ -1,0 +1,62 @@
+// Command flowdifflint runs FlowDiff's repo-specific static analyzers
+// over the package patterns given on the command line (default ./...).
+// It exits 1 when any diagnostic survives the //lint:ignore directives,
+// so CI fails the moment a change breaks a determinism or concurrency
+// invariant instead of waiting for a DeepEqual test to happen to cover
+// the new code path.
+//
+// Usage:
+//
+//	flowdifflint [-only a,b] [-disable a,b] [-tests=false] [-list] [patterns...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowdiff/internal/lint"
+	"flowdiff/internal/lint/checks"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	all := checks.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	selected, err := lint.Select(all, *only, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader()
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "flowdifflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -209,6 +209,7 @@ func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, o
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//lint:ignore locksafe single writer per variable; wg.Add happens-before the goroutine and wg.Wait orders these writes before the read
 			base, berr = BuildSignatures(baseline, opts)
 		}()
 		cur, cerr = BuildSignatures(current, opts)

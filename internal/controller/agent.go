@@ -47,7 +47,7 @@ func DialTimeout(addr string, sw *switchsim.Switch, timeout time.Duration) (*Swi
 		return nil, fmt.Errorf("controller: dialing %s: %w", addr, err)
 	}
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		conn.Close()
+		_ = conn.Close() // best-effort cleanup: the dial error is what the caller needs
 		return nil, fmt.Errorf("controller: setting handshake deadline: %w", err)
 	}
 	a := &SwitchAgent{
@@ -60,12 +60,12 @@ func DialTimeout(addr string, sw *switchsim.Switch, timeout time.Duration) (*Swi
 	}
 	sw.OnFlowRemoved(a.sendFlowRemoved)
 	if err := a.handshake(); err != nil {
-		conn.Close()
+		_ = conn.Close() // best-effort cleanup: the dial error is what the caller needs
 		return nil, err
 	}
 	// Clear the handshake deadline for the steady-state message loop.
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		conn.Close()
+		_ = conn.Close() // best-effort cleanup: the dial error is what the caller needs
 		return nil, fmt.Errorf("controller: clearing deadline: %w", err)
 	}
 	return a, nil

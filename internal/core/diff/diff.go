@@ -225,6 +225,31 @@ func sortedEdges(m map[signature.Edge]bool) []signature.Edge {
 	return out
 }
 
+// sortedPairKeys returns m's EdgePair keys in lexical order. The changes
+// emitted per pair are later stable-sorted by (Kind, Description) only,
+// so iterating the map directly would let Go's randomized order leak
+// into tie-broken report positions.
+func sortedPairKeys[V any](m map[signature.EdgePair]V) []signature.EdgePair {
+	out := make([]signature.EdgePair, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.In.Src != b.In.Src {
+			return a.In.Src < b.In.Src
+		}
+		if a.In.Dst != b.In.Dst {
+			return a.In.Dst < b.In.Dst
+		}
+		if a.Out.Src != b.Out.Src {
+			return a.Out.Src < b.Out.Src
+		}
+		return a.Out.Dst < b.Out.Dst
+	})
+	return out
+}
+
 // unionSignature merges the per-group signatures of one log into a single
 // view (groups partition nodes, so the merge has no collisions).
 func unionSignature(sigs []signature.AppSignature) signature.AppSignature {
@@ -348,7 +373,8 @@ func compareGroup(b, c signature.AppSignature, st *signature.Stability, baseEdge
 	}
 
 	// DD: dominant peak shift per adjacent edge pair.
-	for p, ref := range b.DD {
+	for _, p := range sortedPairKeys(b.DD) {
+		ref := b.DD[p]
 		if st != nil && !st.DDPairs[p] {
 			continue
 		}
@@ -370,7 +396,8 @@ func compareGroup(b, c signature.AppSignature, st *signature.Stability, baseEdge
 	}
 
 	// PC: correlation shift per adjacent edge pair.
-	for p, ref := range b.PC {
+	for _, p := range sortedPairKeys(b.PC) {
+		ref := b.PC[p]
 		if st != nil && !st.PCPairs[p] {
 			continue
 		}
@@ -543,8 +570,8 @@ func compareInfra(b, c signature.InfraSignature, th Thresholds) []Change {
 }
 
 func relDelta(a, b float64) float64 {
-	if b == 0 {
-		if a == 0 {
+	if stats.NearZero(b) {
+		if stats.NearZero(a) {
 			return 0
 		}
 		return math.Inf(1)

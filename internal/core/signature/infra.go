@@ -188,9 +188,20 @@ func (i InfraSignature) AdjacencyEdges() []SwitchPair {
 // MeanISL returns the mean inter-switch latency across all pairs, or 0
 // when no samples exist.
 func (i InfraSignature) MeanISL() time.Duration {
+	pairs := make([]SwitchPair, 0, len(i.ISL))
+	for p := range i.ISL {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].From != pairs[b].From {
+			return pairs[a].From < pairs[b].From
+		}
+		return pairs[a].To < pairs[b].To
+	})
 	var sum float64
 	var n int
-	for _, s := range i.ISL {
+	for _, p := range pairs {
+		s := i.ISL[p]
 		sum += s.Mean * float64(s.Count)
 		n += s.Count
 	}

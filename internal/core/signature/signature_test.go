@@ -1,6 +1,7 @@
 package signature
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -142,6 +143,19 @@ func keysOfDD(m map[EdgePair]DDSig) []EdgePair {
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.In != b.In {
+			if a.In.Src != b.In.Src {
+				return a.In.Src < b.In.Src
+			}
+			return a.In.Dst < b.In.Dst
+		}
+		if a.Out.Src != b.Out.Src {
+			return a.Out.Src < b.Out.Src
+		}
+		return a.Out.Dst < b.Out.Dst
+	})
 	return out
 }
 

@@ -197,8 +197,16 @@ func frequentPatterns(runs [][]Template, minSup float64) []Pattern {
 		}
 		next := make(map[string]bool)
 		found := false
-		for k, c := range counts {
-			sup := float64(c) / n
+		// Emit frequent patterns in key order: counts is a map, and the
+		// mined pattern list is user-visible output that must not inherit
+		// Go's randomized iteration order.
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sup := float64(counts[k]) / n
 			if sup+1e-12 >= minSup {
 				out = append(out, Pattern{Seq: seqs[k], Support: sup})
 				next[k] = true

@@ -1,0 +1,52 @@
+package checks_test
+
+import (
+	"testing"
+
+	"flowdiff/internal/lint/checks"
+	"flowdiff/internal/lint/linttest"
+)
+
+// Each analyzer is pinned against a testdata package seeded with
+// violations and golden `// want` diagnostics. Path-scoped analyzers are
+// additionally re-run over the same files under an out-of-scope pretend
+// import path and must stay silent.
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiter", "flowdiff/internal/example/mapiter", checks.MapIter)
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock", "flowdiff/internal/simnet/clockpkg", checks.WallClock)
+}
+
+func TestWallClockScopedToVirtualTimePackages(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/wallclock", "flowdiff/internal/controller/clockpkg", checks.WallClock)
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, "testdata/src/floatcmp", "flowdiff/internal/core/diff/cmppkg", checks.FloatCmp)
+}
+
+func TestFloatCmpScopedToStatsPackages(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/floatcmp", "flowdiff/internal/workload/cmppkg", checks.FloatCmp)
+}
+
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/locksafe", "flowdiff/internal/example/locksafe", checks.LockSafe)
+}
+
+func TestErrCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/errcheck", "flowdiff/cmd/errpkg", checks.ErrCheck)
+}
+
+func TestErrCheckScopedToEntryPoints(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/errcheck", "flowdiff/internal/stats/errpkg", checks.ErrCheck)
+}
+
+// The whole suite over every testdata package at once must reproduce
+// exactly the union of the golden diagnostics — analyzers must not
+// interfere with each other.
+func TestSuiteDisjoint(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock", "flowdiff/internal/simnet/clockpkg", checks.All()...)
+}

@@ -1,0 +1,134 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flowdiff/internal/lint"
+)
+
+// errCheckScope: the operator-facing entry points. A dropped error in a
+// CLI or in the controller's network path turns a failed diagnosis into a
+// silently wrong one, which is worse than a crash for a system whose
+// whole job is producing trustworthy reports.
+var errCheckScope = []string{
+	"flowdiff/cmd",
+	"flowdiff/internal/controller",
+}
+
+// errCheckExempt lists call targets whose error is conventionally
+// ignorable when writing to an interactive stream.
+var errCheckExempt = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// ErrCheck flags expression statements that discard a returned error in
+// cmd/ and internal/controller. Test files are exempt (tests discard
+// errors from helpers they immediately assert on).
+var ErrCheck = &lint.Analyzer{
+	Name:          "errcheck",
+	Doc:           "flags discarded error returns in cmd/ and internal/controller",
+	SkipTestFiles: true,
+	Run:           runErrCheck,
+}
+
+func runErrCheck(pass *lint.Pass) {
+	if pass.Pkg == nil || !inScope(pass.Pkg.Path(), errCheckScope...) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s is discarded: handle it or assign to _ with a reason", callName(call))
+			return true
+		})
+	}
+}
+
+func returnsError(pass *lint.Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	check := func(one types.Type) bool {
+		return one != nil && types.Implements(one, errIface)
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if check(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(t)
+}
+
+func exemptCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	// fmt.Fprint* to the process's standard streams: the write can only
+	// fail when the terminal is gone, at which point nobody is reading.
+	if fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			if dst, ok := call.Args[0].(*ast.SelectorExpr); ok {
+				if x, ok := dst.X.(*ast.Ident); ok {
+					if pn, ok := pass.ObjectOf(x).(*types.PkgName); ok && pn.Imported().Path() == "os" &&
+						(dst.Sel.Name == "Stderr" || dst.Sel.Name == "Stdout") {
+						return true
+					}
+				}
+			}
+		}
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		// (*strings.Builder) and (*bytes.Buffer) writes are documented to
+		// never return a non-nil error.
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			return full == "strings.Builder" || full == "bytes.Buffer"
+		}
+		return false
+	}
+	return errCheckExempt[fn.Pkg().Path()+"."+fn.Name()]
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

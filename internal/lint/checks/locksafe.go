@@ -1,0 +1,217 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flowdiff/internal/lint"
+)
+
+// LockSafe guards the worker-pool plumbing: a copied sync.Mutex or
+// sync.WaitGroup silently guards nothing, and a `go` closure writing to
+// captured shared state without a lock in scope is a data race the race
+// detector only catches when a test happens to exercise the interleaving.
+//
+// Check 1 (copylocks-lite): by-value copies of lock-containing structs in
+// assignments, call arguments, by-value parameters/receivers, and range
+// value variables. Fresh composite literals and new(...) are fine.
+//
+// Check 2: inside `go func() { ... }()`, direct writes (assign, ++/--) to
+// a variable captured from an enclosing scope, unless the closure body
+// acquires a sync lock (Lock/RLock) — element-indexed writes like
+// out[i] = v are the sanctioned sharding pattern and are not flagged.
+var LockSafe = &lint.Analyzer{
+	Name: "locksafe",
+	Doc:  "flags by-value copies of lock-containing structs and unguarded writes to captured state in go closures",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *lint.Pass) {
+	inspectWithStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkLockCopyAssign(pass, s)
+		case *ast.CallExpr:
+			checkLockCopyArgs(pass, s)
+		case *ast.FuncDecl:
+			checkLockParams(pass, s.Recv)
+			checkLockParams(pass, s.Type.Params)
+		case *ast.FuncLit:
+			checkLockParams(pass, s.Type.Params)
+		case *ast.RangeStmt:
+			if s.Value != nil && lockPath(pass.TypeOf(s.Value)) != "" {
+				pass.Reportf(s.Value.Pos(), "range value copies %s by value: iterate by index or over pointers", lockPath(pass.TypeOf(s.Value)))
+			}
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				checkGoClosure(pass, lit)
+			}
+		}
+		return true
+	})
+}
+
+// lockPath returns a human-readable path to the sync primitive embedded
+// in t ("sync.Mutex", "Monitor.mu: sync.Mutex", ...), or "" when t holds
+// none. Pointers break the containment: *sync.Mutex copies fine.
+func lockPath(t types.Type) string {
+	return lockPathDepth(t, 0)
+}
+
+func lockPathDepth(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPathDepth(f.Type(), depth+1); p != "" {
+				return fieldPrefix(t) + f.Name() + ": " + p
+			}
+		}
+	case *types.Array:
+		return lockPathDepth(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+func fieldPrefix(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "."
+	}
+	return ""
+}
+
+// freshValue reports whether e constructs a new value rather than copying
+// an existing one (composite literal, new(...), or a conversion of one).
+func freshValue(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		// new(T) and T{...} conversions; function calls returning a lock
+		// by value are the callee's bug and flagged at its signature.
+		return true
+	case *ast.UnaryExpr:
+		return v.Op.String() == "&"
+	case *ast.ParenExpr:
+		return freshValue(v.X)
+	}
+	return false
+}
+
+func checkLockCopyAssign(pass *lint.Pass, s *ast.AssignStmt) {
+	for i, rhs := range s.Rhs {
+		if len(s.Rhs) != len(s.Lhs) {
+			break // tuple assignment from a call: covered by signatures
+		}
+		if lhs, ok := s.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+			continue // a blank assign evaluates, it does not copy
+		}
+		if freshValue(rhs) {
+			continue
+		}
+		if _, isStar := rhs.(*ast.StarExpr); !isStar {
+			if _, isIdent := rhs.(*ast.Ident); !isIdent {
+				if _, isSel := rhs.(*ast.SelectorExpr); !isSel {
+					continue
+				}
+			}
+		}
+		if p := lockPath(pass.TypeOf(rhs)); p != "" {
+			pass.Reportf(s.Rhs[i].Pos(), "assignment copies %s by value: the copy guards nothing; use a pointer", p)
+		}
+	}
+}
+
+func checkLockCopyArgs(pass *lint.Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if freshValue(arg) {
+			continue
+		}
+		switch arg.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if p := lockPath(pass.TypeOf(arg)); p != "" {
+			pass.Reportf(arg.Pos(), "call passes %s by value: the callee receives a detached copy; pass a pointer", p)
+		}
+	}
+}
+
+func checkLockParams(pass *lint.Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		if p := lockPath(pass.TypeOf(f.Type)); p != "" {
+			pass.Reportf(f.Type.Pos(), "parameter receives %s by value: locking the copy does not lock the original; use a pointer", p)
+		}
+	}
+}
+
+// checkGoClosure flags unguarded writes to captured variables inside a
+// goroutine launched with a function literal.
+func checkGoClosure(pass *lint.Pass, lit *ast.FuncLit) {
+	if closureAcquiresLock(pass, lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				reportCapturedWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportCapturedWrite(pass, lit, s.X)
+		}
+		return true
+	})
+}
+
+func reportCapturedWrite(pass *lint.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if !declaredOutside(pass, id, lit, lit) {
+		return
+	}
+	pass.Reportf(id.Pos(), "goroutine writes captured variable %s without a lock in scope: guard it with a sync primitive or communicate over a channel", id.Name)
+}
+
+// closureAcquiresLock reports whether the closure body calls Lock/RLock
+// on a sync primitive (the writes inside are then assumed guarded; the
+// race detector remains the ground truth for lock correctness).
+func closureAcquiresLock(pass *lint.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return !found
+		}
+		if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

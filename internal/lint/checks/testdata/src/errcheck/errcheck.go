@@ -1,0 +1,39 @@
+// Seeded violations for the errcheck analyzer: operator-facing entry
+// points must not drop errors on the floor.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoValues() (int, error) { return 0, nil }
+
+func pureValue() int { return 7 }
+
+func discards() {
+	mayFail()   // want "error returned by mayFail is discarded"
+	twoValues() // want "error returned by twoValues is discarded"
+	pureValue()
+}
+
+func handledOK() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	return nil
+}
+
+func streamsOK(f *os.File) {
+	fmt.Fprintln(os.Stderr, "usage: ...")
+	fmt.Fprintf(os.Stdout, "result\n")
+	fmt.Println("hello")
+	var b strings.Builder
+	b.WriteString("never fails")
+	fmt.Fprintln(f, "to a real file") // want "error returned by fmt.Fprintln is discarded"
+}

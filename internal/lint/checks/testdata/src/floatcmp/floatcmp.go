@@ -1,0 +1,35 @@
+// Seeded violations for the floatcmp analyzer: statistics comparison
+// must be epsilon-based, never bit-exact.
+package floatcmp
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+func nanIdiomOK(x float64) bool {
+	return x != x
+}
+
+func orderingOK(a, b float64) bool {
+	return a < b || a >= b
+}
+
+func intEqOK(a, b int) bool {
+	return a == b
+}
+
+var badKey map[float64]int // want "map keyed by floating-point values"
+
+func makesBadKey() map[float64]string { // want "map keyed by floating-point values"
+	return make(map[float64]string) // want "map keyed by floating-point values"
+}
+
+var goodKey map[string]float64

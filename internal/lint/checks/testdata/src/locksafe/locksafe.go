@@ -1,0 +1,88 @@
+// Seeded violations for the locksafe analyzer: copied locks guard
+// nothing, and go closures must not write captured state unguarded.
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copyParam(g guarded) int { // want "parameter receives guarded.mu: sync.Mutex by value"
+	return g.n
+}
+
+func ptrParamOK(g *guarded) int {
+	return g.n
+}
+
+func assignCopy(g *guarded) {
+	cp := *g // want "assignment copies guarded.mu: sync.Mutex by value"
+	cp.n++
+}
+
+func freshLiteralOK() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+func passByValue(g *guarded) int {
+	return copyParam(*g) // want "call passes guarded.mu: sync.Mutex by value"
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies guarded.mu: sync.Mutex by value"
+		total += g.n
+	}
+	return total
+}
+
+func wgParam(wg sync.WaitGroup) { // want "parameter receives sync.WaitGroup by value"
+	wg.Wait()
+}
+
+func goUnguarded() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++ // want "goroutine writes captured variable n without a lock in scope"
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+func goGuardedOK(mu *sync.Mutex) int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+func goIndexedOK(out []int) {
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * 2
+		}()
+	}
+	wg.Wait()
+}
+
+func goLocalOK() {
+	go func() {
+		local := 0
+		local++
+		_ = local
+	}()
+}

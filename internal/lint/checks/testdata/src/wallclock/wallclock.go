@@ -1,0 +1,37 @@
+// Seeded violations for the wallclock analyzer: the simulator and
+// signature packages must be pure functions of the log's virtual clock.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "global rand.Intn is implicitly seeded"
+}
+
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func goodVirtualTime(now time.Duration) time.Duration {
+	return now + 3*time.Millisecond
+}

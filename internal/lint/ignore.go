@@ -1,0 +1,135 @@
+// Ignore directives: `//lint:ignore <analyzer>[,<analyzer>] <reason>`
+// suppresses matching diagnostics for the statement (or declaration) that
+// starts on the line immediately below the directive, or — when the
+// directive trails code on its own line — for that line. The reason is
+// mandatory: an unexplained suppression is itself reported. "all" matches
+// every analyzer.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore"
+
+type ignoreDirective struct {
+	file      string
+	line      int  // line the directive sits on
+	inline    bool // directive shares its line with code
+	analyzers map[string]bool
+	// [from, to] line range covered by the next statement (exclusive of
+	// anything after it); zero when no statement follows.
+	from, to int
+}
+
+type ignoreSet struct {
+	directives []ignoreDirective
+	malformed  []Diagnostic
+}
+
+func (s *ignoreSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s.directives {
+		if dir.file != d.Position.Filename {
+			continue
+		}
+		if !dir.analyzers["all"] && !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.inline && d.Position.Line == dir.line {
+			return true
+		}
+		if !dir.inline && dir.from > 0 && d.Position.Line >= dir.from && d.Position.Line <= dir.to {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment in the package for directives and
+// resolves the statement each one covers.
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{}
+	for _, f := range files {
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return true
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return true
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      c.Pos(),
+						Position: pos,
+						Message:  "malformed //lint:ignore: want analyzer list and a reason",
+					})
+					continue
+				}
+				dir := ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					inline:    codeLines[pos.Line],
+					analyzers: make(map[string]bool),
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					dir.analyzers[strings.TrimSpace(name)] = true
+				}
+				if !dir.inline {
+					dir.from, dir.to = nextStatementExtent(fset, f, pos.Line)
+				}
+				set.directives = append(set.directives, dir)
+			}
+		}
+	}
+	return set
+}
+
+// nextStatementExtent finds the statement or declaration whose first line
+// is the line directly below the directive and returns its line span.
+// A blank line between the directive and the code detaches it — the
+// suppression is scoped to the next statement only, never "somewhere
+// further down the file".
+func nextStatementExtent(fset *token.FileSet, f *ast.File, line int) (from, to int) {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+		default:
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		if start != line+1 {
+			return true
+		}
+		if best == nil || n.Pos() < best.Pos() ||
+			(n.Pos() == best.Pos() && n.End() > best.End()) {
+			best = n
+		}
+		return true
+	})
+	if best == nil {
+		return 0, 0
+	}
+	return fset.Position(best.Pos()).Line, fset.Position(best.End()).Line
+}

@@ -1,0 +1,190 @@
+// Package lint is a minimal, stdlib-only static-analysis framework in
+// the shape of golang.org/x/tools/go/analysis: an Analyzer owns a Run
+// function over a typed Pass, diagnostics are reported through the pass,
+// and `//lint:ignore <analyzers> <reason>` directives suppress findings
+// for the statement that follows them.
+//
+// FlowDiff uses it to machine-check the determinism and concurrency
+// invariants the parallel signature pipeline rests on (byte-identical
+// output at any worker count, virtual-time-only simulation, epsilon-based
+// float comparison); the concrete analyzers live in internal/lint/checks
+// and the CLI driver in cmd/flowdifflint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant it guards.
+	Doc string
+	// SkipTestFiles drops diagnostics located in _test.go files. Checks
+	// whose violations are idiomatic in tests (exact expected-value float
+	// comparisons, deliberately discarded errors) set this.
+	SkipTestFiles bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when the expression did not
+// type-check (analyzers must stay useful on broken packages).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (nil when unresolved).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package, filters the findings
+// through the packages' ignore directives, and returns them sorted by
+// position. Type errors recorded by the loader are surfaced as
+// diagnostics of the pseudo-analyzer "typecheck" so a broken package
+// fails the lint run visibly instead of being half-analyzed in silence.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		for _, te := range pkg.TypeErrors {
+			d := Diagnostic{Analyzer: "typecheck", Message: te.Error()}
+			if terr, ok := te.(types.Error); ok {
+				d.Pos = terr.Pos
+				d.Position = terr.Fset.Position(terr.Pos)
+				d.Message = terr.Msg
+			}
+			diags = append(diags, d)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				if a.SkipTestFiles && strings.HasSuffix(d.Position.Filename, "_test.go") {
+					return
+				}
+				if ignores.suppresses(d) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, ignores.malformed...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// Select returns the analyzers that survive the enable/disable flags:
+// only restricts to a comma-separated allowlist (empty means all), then
+// disable removes a comma-separated denylist. Unknown names error so a
+// typo in CI cannot silently skip a check.
+func Select(all []*Analyzer, only, disable string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(list string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if list == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	disSet, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if disSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Package linttest runs analyzers over testdata packages and compares
+// the diagnostics against golden `// want "regex"` comments, in the
+// shape of golang.org/x/tools/go/analysis/analysistest.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"flowdiff/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads the single package in dir under the pretend import path
+// (so path-scoped analyzers fire), runs the analyzers, and requires the
+// diagnostics to match the `// want` comments exactly: every want must
+// be hit on its line, every diagnostic must be wanted.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, diags := load(t, dir, importPath, analyzers)
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := wantKey{d.Position.Filename, d.Position.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// RunExpectNone loads dir under importPath and requires the analyzers to
+// stay silent, ignoring any want comments — used to pin the path scoping
+// of an analyzer by reloading its positive testdata under an
+// out-of-scope pretend path.
+func RunExpectNone(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	_, diags := load(t, dir, importPath, analyzers)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under out-of-scope path %s: %s", importPath, d)
+	}
+}
+
+func load(t *testing.T, dir, importPath string, analyzers []*lint.Analyzer) (*lint.Package, []lint.Diagnostic) {
+	t.Helper()
+	loader := lint.NewLoader()
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("testdata package %s does not type-check: %v", dir, pkg.TypeErrors[0])
+	}
+	return pkg, lint.Run([]*lint.Package{pkg}, analyzers)
+}

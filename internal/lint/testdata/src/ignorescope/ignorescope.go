@@ -1,0 +1,39 @@
+// Exercises //lint:ignore scoping for the framework tests, using the
+// test-only "noprint" toy analyzer that flags every fmt.Println call.
+package ignorescope
+
+import "fmt"
+
+func suppressedNextStatementOnly() {
+	//lint:ignore noprint demo: only the next statement is covered
+	fmt.Println("one")
+	fmt.Println("two")
+}
+
+func suppressedInline() {
+	fmt.Println("three") //lint:ignore noprint demo: inline suppression covers this line
+}
+
+func suppressedMultiline() {
+	//lint:ignore noprint demo: the whole following statement is covered
+	if true {
+		fmt.Println("four")
+	}
+	fmt.Println("five")
+}
+
+func detachedDirective() {
+	//lint:ignore noprint demo: a blank line detaches the directive
+
+	fmt.Println("six")
+}
+
+func wrongAnalyzer() {
+	//lint:ignore someothercheck demo: name does not match
+	fmt.Println("seven")
+}
+
+func missingReason() {
+	//lint:ignore noprint
+	fmt.Println("eight")
+}

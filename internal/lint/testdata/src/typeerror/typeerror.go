@@ -1,0 +1,14 @@
+// A package that deliberately fails type-checking: the loader must
+// surface the error and keep going, never panic.
+package typeerror
+
+import "fmt"
+
+func broken() {
+	var n int = "not an int"
+	fmt.Println(n)
+}
+
+func stillParses() {
+	fmt.Println("this call is visible to analyzers despite the error above")
+}

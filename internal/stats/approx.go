@@ -1,0 +1,29 @@
+package stats
+
+import "math"
+
+// Epsilon is the default tolerance for comparing derived statistics
+// (means, variances, correlations). The parallel pipeline guarantees
+// byte-identical output at any worker count by fixing summation order,
+// but code that *compares* two independently computed statistics must
+// never rely on bit-exact float arithmetic — that is the paper's
+// epsilon-based comparison discipline, and the floatcmp analyzer in
+// internal/lint/checks enforces it mechanically.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether a and b are equal within eps, using a
+// hybrid absolute/relative tolerance: |a-b| <= eps * max(1, |a|, |b|).
+// Pass eps <= 0 to use Epsilon.
+func ApproxEqual(a, b, eps float64) bool {
+	if eps <= 0 {
+		eps = Epsilon
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= eps*scale
+}
+
+// NearZero reports whether |x| < Epsilon — the guard to use before
+// dividing by a derived quantity instead of comparing it to exactly 0.
+func NearZero(x float64) bool {
+	return math.Abs(x) < Epsilon
+}

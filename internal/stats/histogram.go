@@ -90,6 +90,7 @@ func (h *Histogram) Peaks(minFrac float64) []Peak {
 		}
 	}
 	sort.Slice(peaks, func(a, b int) bool {
+		//lint:ignore floatcmp comparator tie-break: both fracs derive from the same counts, so exact bit equality is the correct tie test
 		if peaks[a].Frac != peaks[b].Frac {
 			return peaks[a].Frac > peaks[b].Frac
 		}
@@ -126,6 +127,7 @@ func CDF(xs []float64) []CDFPoint {
 	var pts []CDFPoint
 	for i := 0; i < len(sorted); {
 		j := i
+		//lint:ignore floatcmp run-length dedup over one sorted copy: identical samples are bit-identical, no arithmetic happened
 		for j < len(sorted) && sorted[j] == sorted[i] {
 			j++
 		}

@@ -173,7 +173,7 @@ func Pearson(xs, ys []float64) (float64, error) {
 		vx += dx * dx
 		vy += dy * dy
 	}
-	if vx == 0 || vy == 0 {
+	if NearZero(vx) || NearZero(vy) {
 		return 0, fmt.Errorf("stats: zero variance in series: %w", ErrInsufficientData)
 	}
 	return cov / math.Sqrt(vx*vy), nil
@@ -200,7 +200,7 @@ func PartialCorrelation(x, y, z []float64) (float64, error) {
 		return 0, fmt.Errorf("stats: partial correlation r_yz: %w", err)
 	}
 	den := math.Sqrt((1 - rxz*rxz) * (1 - ryz*ryz))
-	if den == 0 {
+	if NearZero(den) {
 		return 0, fmt.Errorf("stats: degenerate control series: %w", ErrInsufficientData)
 	}
 	return (rxy - rxz*ryz) / den, nil

@@ -3,6 +3,7 @@ package workload
 import (
 	"flowdiff/internal/stats"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -150,6 +151,9 @@ func TestProcessingDelayVisibleInFlowStarts(t *testing.T) {
 			outStarts = append(outStarts, e.Time)
 		}
 	}
+	// first is a map: fix the order so a failure reproduces identically.
+	sort.Slice(inStarts, func(i, j int) bool { return inStarts[i] < inStarts[j] })
+	sort.Slice(outStarts, func(i, j int) bool { return outStarts[i] < outStarts[j] })
 	if len(inStarts) == 0 || len(outStarts) == 0 {
 		t.Fatal("missing observations")
 	}
@@ -247,6 +251,9 @@ func TestOverheadShiftsDelay(t *testing.T) {
 				outT = append(outT, e.Time)
 			}
 		}
+		// first is a map: fix the order so a failure reproduces identically.
+		sort.Slice(inT, func(i, j int) bool { return inT[i] < inT[j] })
+		sort.Slice(outT, func(i, j int) bool { return outT[i] < outT[j] })
 		// Use the dominant histogram peak, as FlowDiff's DD signature
 		// does: the mean is skewed by mispaired in/out flows under
 		// concurrency, the mode is not.

@@ -3,6 +3,7 @@ package flowdiff
 import (
 	"net/netip"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -11,10 +12,31 @@ import (
 	"flowdiff/internal/workload"
 )
 
+// checkGoroutineLeak snapshots the goroutine count and verifies at
+// cleanup, with a settle/retry loop, that it returned to the baseline —
+// proof that the pipeline's worker pools drain instead of accumulating
+// across Observe/Flush cycles.
+func checkGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > before {
+			t.Errorf("goroutine leak: %d before the test, still %d after settling", before, n)
+		}
+	})
+}
+
 // driveMonitor replays a scenario's L2 events through a monitor built on
 // its L1.
 func driveMonitor(t *testing.T, s Scenario, window time.Duration) (*Monitor, *ScenarioResult) {
 	t.Helper()
+	checkGoroutineLeak(t)
 	res, err := RunScenario(s)
 	if err != nil {
 		t.Fatal(err)

@@ -10,12 +10,32 @@ import (
 	"flowdiff/internal/faults"
 )
 
+// checkGoroutineLeak snapshots the goroutine count and verifies at
+// cleanup, with a settle/retry loop, that it returned to the baseline —
+// proof that the sharded extraction and pipeline worker pools drain.
+func checkGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > before {
+			t.Errorf("goroutine leak: %d before the test, still %d after settling", before, n)
+		}
+	})
+}
+
 // TestParallelModelingDeterminism is the equivalence gate for the
 // parallel signature pipeline: the same log modeled with 1, 4, and
 // GOMAXPROCS workers must produce identical signatures, stability
 // verdicts, and diff changes, and the concurrent Compare must match the
 // sequential one report for report.
 func TestParallelModelingDeterminism(t *testing.T) {
+	checkGoroutineLeak(t)
 	res, err := flowdiff.RunScenario(flowdiff.Scenario{
 		Seed:        41,
 		BaselineDur: 45 * time.Second,

@@ -6,6 +6,12 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# flowdifflint: the repo's own analyzer suite. It machine-checks the
+# determinism/concurrency invariants (map-order leaks, wall-clock reads
+# in virtual-time packages, float equality in stats comparison, lock
+# copies, dropped errors) so a violation fails the build before the race
+# tests ever run.
+go run ./cmd/flowdifflint ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
