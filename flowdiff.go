@@ -22,7 +22,6 @@ package flowdiff
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -32,6 +31,7 @@ import (
 	"flowdiff/internal/core/signature"
 	"flowdiff/internal/core/taskmine"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/parallel"
 	"flowdiff/internal/topology"
 )
 
@@ -99,12 +99,10 @@ func (o Options) sigConfig() signature.Config {
 	return cfg
 }
 
-// workers resolves the Parallelism knob (0 = one worker per CPU).
+// workers resolves the Parallelism knob: 0 (or negative) means one
+// worker per CPU; requests above the CPU count are clamped down.
 func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
+	return parallel.Clamp(o.Parallelism)
 }
 
 // Signatures bundles everything extracted from one log.

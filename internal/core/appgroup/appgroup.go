@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
+	"sync"
 
 	"flowdiff/internal/flowlog"
 	"flowdiff/internal/topology"
@@ -38,14 +40,19 @@ type Group struct {
 // Group identity must survive small membership changes (a crashed member
 // disappears from L2); Match handles that by overlap, Key by exact set.
 func (g Group) Key() string {
-	out := ""
-	for i, n := range g.Nodes {
-		if i > 0 {
-			out += ","
-		}
-		out += string(n)
+	n := 0
+	for _, id := range g.Nodes {
+		n += len(id) + 1
 	}
-	return out
+	var sb strings.Builder
+	sb.Grow(n)
+	for i, id := range g.Nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(string(id))
+	}
+	return sb.String()
 }
 
 // Contains reports whether the group includes the host.
@@ -61,23 +68,44 @@ func (g Group) Contains(id topology.NodeID) bool {
 // Resolver maps flow addresses to node identities. Unknown addresses
 // (e.g. external hosts in an unauthorized-access scenario) are given
 // synthetic "ip:<addr>" ids so they still appear in the graph.
+//
+// Resolutions are memoized: a log resolves the same few hundred
+// addresses hundreds of thousands of times, and the synthetic-id path
+// would otherwise allocate a fresh string per call. The cache makes
+// Node safe for concurrent use.
 type Resolver struct {
 	topo *topology.Topology
+
+	mu    sync.RWMutex
+	cache map[netip.Addr]topology.NodeID
 }
 
 // NewResolver builds a resolver over a topology.
 func NewResolver(topo *topology.Topology) *Resolver {
-	return &Resolver{topo: topo}
+	return &Resolver{topo: topo, cache: make(map[netip.Addr]topology.NodeID)}
 }
 
 // Node resolves an address to a node id.
 func (r *Resolver) Node(addr netip.Addr) topology.NodeID {
+	r.mu.RLock()
+	id, ok := r.cache[addr]
+	r.mu.RUnlock()
+	if ok {
+		return id
+	}
+	id = ""
 	if r.topo != nil {
 		if h, ok := r.topo.HostByAddr(addr); ok {
-			return h.ID
+			id = h.ID
 		}
 	}
-	return topology.NodeID("ip:" + addr.String())
+	if id == "" {
+		id = topology.NodeID("ip:" + addr.String())
+	}
+	r.mu.Lock()
+	r.cache[addr] = id
+	r.mu.Unlock()
+	return id
 }
 
 // BuildEdges extracts the distinct directed host edges from a log's
@@ -115,75 +143,169 @@ func SameEdgeSet(a, b map[Edge]int) bool {
 	return true
 }
 
+// discoverScratch holds one discovery's working state: a node interner
+// and an array-based union-find (path halving + union by size) over the
+// dense IDs, recycled across calls via a pool so the concurrent
+// per-interval Discover calls in stability analysis don't re-allocate
+// the maps and arrays every interval.
+type discoverScratch struct {
+	ids    map[topology.NodeID]int32
+	nodes  []topology.NodeID
+	parent []int32
+	size   []int32
+	edges  []Edge
+	group  []int32 // reused for node->group and root->group indexes
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &discoverScratch{ids: make(map[topology.NodeID]int32)} },
+}
+
+func (s *discoverScratch) release() {
+	clear(s.ids)
+	s.nodes = s.nodes[:0]
+	s.parent = s.parent[:0]
+	s.size = s.size[:0]
+	s.edges = s.edges[:0]
+	s.group = s.group[:0]
+	scratchPool.Put(s)
+}
+
+// intern assigns the node a dense ID and a singleton union-find set.
+func (s *discoverScratch) intern(n topology.NodeID) int32 {
+	if id, ok := s.ids[n]; ok {
+		return id
+	}
+	id := int32(len(s.nodes))
+	s.ids[n] = id
+	s.nodes = append(s.nodes, n)
+	s.parent = append(s.parent, id)
+	s.size = append(s.size, 1)
+	return id
+}
+
+// find walks to the root with path halving — iterative, so component
+// depth is bounded only by memory, not goroutine stack.
+func (s *discoverScratch) find(x int32) int32 {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+func (s *discoverScratch) union(a, b int32) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	if s.size[ra] < s.size[rb] {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	s.size[ra] += s.size[rb]
+}
+
 // DiscoverFromEdges is Discover over an already-built edge set; its
 // output is a pure function of the edge set and the special-node marks.
 func DiscoverFromEdges(edges map[Edge]int, special map[topology.NodeID]bool) []Group {
-	// Union-find over non-special nodes.
-	parent := make(map[topology.NodeID]topology.NodeID)
-	var find func(topology.NodeID) topology.NodeID
-	find = func(x topology.NodeID) topology.NodeID {
-		p, ok := parent[x]
-		if !ok {
-			parent[x] = x
-			return x
-		}
-		if p == x {
-			return x
-		}
-		root := find(p)
-		parent[x] = root
-		return root
-	}
-	union := func(a, b topology.NodeID) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
+	s := scratchPool.Get().(*discoverScratch)
+	defer s.release()
 
+	// Fix the edge order first: edges is a map, and every later stage —
+	// union sequence, member collection, edge attribution — follows this
+	// slice, so the whole discovery is deterministic.
+	sorted := s.edges
 	for e := range edges {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	s.edges = sorted
+
+	for _, e := range sorted {
 		sSpecial, dSpecial := special[e.Src], special[e.Dst]
 		switch {
 		case sSpecial && dSpecial:
 			// Service-to-service traffic joins no group.
 		case sSpecial:
-			find(e.Dst)
+			s.intern(e.Dst)
 		case dSpecial:
-			find(e.Src)
+			s.intern(e.Src)
 		default:
-			union(e.Src, e.Dst)
+			s.union(s.intern(e.Src), s.intern(e.Dst))
 		}
 	}
 
-	members := make(map[topology.NodeID][]topology.NodeID)
-	for n := range parent {
-		root := find(n)
-		members[root] = append(members[root], n)
+	// Collect members per component in interned (first-seen) order;
+	// groupOf remembers each node's group for the edge pass.
+	numNodes := len(s.nodes)
+	if cap(s.group) < 2*numNodes {
+		s.group = make([]int32, 2*numNodes)
 	}
-
+	s.group = s.group[:2*numNodes]
+	groupOf, rootGroup := s.group[:numNodes], s.group[numNodes:]
+	for i := range rootGroup {
+		rootGroup[i] = -1
+	}
 	var groups []Group
-	for _, nodes := range members {
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-		inGroup := make(map[topology.NodeID]bool, len(nodes))
-		for _, n := range nodes {
-			inGroup[n] = true
+	for id := 0; id < numNodes; id++ {
+		root := s.find(int32(id))
+		gi := rootGroup[root]
+		if gi < 0 {
+			gi = int32(len(groups))
+			rootGroup[root] = gi
+			groups = append(groups, Group{})
 		}
-		var ge []Edge
-		for e := range edges {
-			if inGroup[e.Src] || inGroup[e.Dst] {
-				ge = append(ge, e)
-			}
-		}
-		sort.Slice(ge, func(i, j int) bool {
-			if ge[i].Src != ge[j].Src {
-				return ge[i].Src < ge[j].Src
-			}
-			return ge[i].Dst < ge[j].Dst
-		})
-		groups = append(groups, Group{Nodes: nodes, Edges: ge})
+		groups[gi].Nodes = append(groups[gi].Nodes, s.nodes[id])
+		groupOf[id] = gi
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].Key() < groups[j].Key() })
+	for gi := range groups {
+		nodes := groups[gi].Nodes
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	}
+
+	// Attribute edges: each edge belongs to the group of its non-special
+	// endpoint (a non-special pair was unioned, so both endpoints agree).
+	// One pass over the globally sorted slice keeps every per-group list
+	// sorted by (Src, Dst) without per-group sorts.
+	for _, e := range sorted {
+		gi := int32(-1)
+		if !special[e.Src] {
+			gi = groupOf[s.ids[e.Src]]
+		} else if !special[e.Dst] {
+			gi = groupOf[s.ids[e.Dst]]
+		}
+		if gi >= 0 {
+			groups[gi].Edges = append(groups[gi].Edges, e)
+		}
+	}
+
+	// Sort by canonical key, computed once per group — Key concatenation
+	// isn't element-wise comparable for node names containing bytes below
+	// ',', so the comparator must use the rendered keys themselves.
+	keys := make([]string, len(groups))
+	for i := range groups {
+		keys[i] = groups[i].Key()
+	}
+	sort.Sort(&groupSorter{groups: groups, keys: keys})
 	return groups
+}
+
+type groupSorter struct {
+	groups []Group
+	keys   []string
+}
+
+func (g *groupSorter) Len() int           { return len(g.groups) }
+func (g *groupSorter) Less(i, j int) bool { return g.keys[i] < g.keys[j] }
+func (g *groupSorter) Swap(i, j int) {
+	g.groups[i], g.groups[j] = g.groups[j], g.groups[i]
+	g.keys[i], g.keys[j] = g.keys[j], g.keys[i]
 }
 
 // Match pairs groups from two logs by maximal member overlap, so a group

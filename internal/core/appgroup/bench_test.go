@@ -1,0 +1,48 @@
+package appgroup
+
+import (
+	"fmt"
+	"testing"
+
+	"flowdiff/internal/topology"
+)
+
+// benchNode names one member host of a synthetic group.
+func benchNode(g, i int) topology.NodeID {
+	return topology.NodeID(fmt.Sprintf("g%03d-n%03d", g, i))
+}
+
+// benchEdges builds groups disjoint chains of chain hosts each, every
+// chain also touching two shared special-purpose services — the shape
+// §III-B discovery has to split correctly.
+func benchEdges(groups, chain int) (map[Edge]int, map[topology.NodeID]bool) {
+	special := map[topology.NodeID]bool{"NFS": true, "DNS": true}
+	edges := make(map[Edge]int)
+	for g := 0; g < groups; g++ {
+		for i := 0; i+1 < chain; i++ {
+			edges[Edge{Src: benchNode(g, i), Dst: benchNode(g, i+1)}]++
+		}
+		edges[Edge{Src: benchNode(g, 0), Dst: "NFS"}]++
+		edges[Edge{Src: benchNode(g, chain-1), Dst: "DNS"}]++
+	}
+	return edges, special
+}
+
+// BenchmarkDiscover measures group discovery over a pre-built edge set —
+// the per-interval cost the stability analysis pays five times per
+// build. Compare against BenchmarkDiscoverReference: the same edge sets
+// through the retained naive map-based discoverer.
+func BenchmarkDiscover(b *testing.B) {
+	for _, sz := range []struct{ groups, chain int }{{32, 8}, {128, 16}} {
+		edges, special := benchEdges(sz.groups, sz.chain)
+		b.Run(fmt.Sprintf("nodes=%d", sz.groups*sz.chain), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(DiscoverFromEdges(edges, special)); got != sz.groups {
+					b.Fatalf("got %d groups, want %d", got, sz.groups)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package appgroup
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+
+	"flowdiff/internal/topology"
+)
+
+// discoverReference is the pre-interning discoverer, retained as the
+// equivalence oracle: map-based recursive union-find and a per-group
+// scan over the whole edge map. The interned array-based implementation
+// must produce DeepEqual groups.
+func discoverReference(edges map[Edge]int, special map[topology.NodeID]bool) []Group {
+	parent := make(map[topology.NodeID]topology.NodeID)
+	var find func(topology.NodeID) topology.NodeID
+	find = func(x topology.NodeID) topology.NodeID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b topology.NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for e := range edges {
+		sSpecial, dSpecial := special[e.Src], special[e.Dst]
+		switch {
+		case sSpecial && dSpecial:
+		case sSpecial:
+			find(e.Dst)
+		case dSpecial:
+			find(e.Src)
+		default:
+			union(e.Src, e.Dst)
+		}
+	}
+
+	members := make(map[topology.NodeID][]topology.NodeID)
+	for n := range parent {
+		root := find(n)
+		members[root] = append(members[root], n)
+	}
+
+	var groups []Group
+	for _, nodes := range members {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		inGroup := make(map[topology.NodeID]bool, len(nodes))
+		for _, n := range nodes {
+			inGroup[n] = true
+		}
+		var ge []Edge
+		for e := range edges {
+			if inGroup[e.Src] || inGroup[e.Dst] {
+				ge = append(ge, e)
+			}
+		}
+		sort.Slice(ge, func(i, j int) bool {
+			if ge[i].Src != ge[j].Src {
+				return ge[i].Src < ge[j].Src
+			}
+			return ge[i].Dst < ge[j].Dst
+		})
+		groups = append(groups, Group{Nodes: nodes, Edges: ge})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key() < groups[j].Key() })
+	return groups
+}
+
+// sameGroups compares discovery results treating nil and empty group
+// lists as equal (the implementations may differ in that representation
+// only when there are zero groups).
+func sameGroups(a, b []Group) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestDiscoverMatchesReference pins the interned discoverer against the
+// retained map-based one on randomized edge sets, with and without
+// special nodes in the mix.
+func TestDiscoverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	special := map[topology.NodeID]bool{"svc-nfs": true, "svc-dns": true}
+	for trial := 0; trial < 30; trial++ {
+		nNodes := 2 + rng.Intn(40)
+		nEdges := rng.Intn(120)
+		node := func() topology.NodeID {
+			// ~10% of endpoints are a special service node.
+			if rng.Intn(10) == 0 {
+				if rng.Intn(2) == 0 {
+					return "svc-nfs"
+				}
+				return "svc-dns"
+			}
+			return topology.NodeID(fmt.Sprintf("n%02d", rng.Intn(nNodes)))
+		}
+		edges := make(map[Edge]int)
+		for i := 0; i < nEdges; i++ {
+			edges[Edge{Src: node(), Dst: node()}]++
+		}
+		want := discoverReference(edges, special)
+		got := DiscoverFromEdges(edges, special)
+		if !sameGroups(want, got) {
+			t.Fatalf("trial %d: groups mismatch\nreference: %+v\nnew:       %+v", trial, want, got)
+		}
+	}
+}
+
+// TestDiscoverDeepChain runs discovery on a 100k-node path graph: one
+// component whose union-find structure is as deep as it gets. The
+// iterative path-halving find must handle it without stack growth (the
+// recursive reference would need a 100k-deep call chain in the worst
+// case, which is exactly why it was replaced).
+func TestDiscoverDeepChain(t *testing.T) {
+	const n = 100_000
+	edges := make(map[Edge]int, n)
+	for i := 0; i < n; i++ {
+		edges[Edge{
+			Src: topology.NodeID(fmt.Sprintf("c%06d", i)),
+			Dst: topology.NodeID(fmt.Sprintf("c%06d", i+1)),
+		}] = 1
+	}
+	groups := DiscoverFromEdges(edges, nil)
+	if len(groups) != 1 {
+		t.Fatalf("chain split into %d groups, want 1", len(groups))
+	}
+	if len(groups[0].Nodes) != n+1 {
+		t.Fatalf("group has %d nodes, want %d", len(groups[0].Nodes), n+1)
+	}
+	if len(groups[0].Edges) != n {
+		t.Fatalf("group has %d edges, want %d", len(groups[0].Edges), n)
+	}
+}
+
+// TestResolverCacheConcurrent exercises the resolver's memoization from
+// multiple goroutines (the race detector checks the locking).
+func TestResolverCacheConcurrent(t *testing.T) {
+	r := NewResolver(nil)
+	done := make(chan topology.NodeID, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var last topology.NodeID
+			for i := 0; i < 100; i++ {
+				last = r.Node(netip.MustParseAddr(fmt.Sprintf("10.1.2.%d", i%16)))
+			}
+			done <- last
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; got != "ip:10.1.2.3" {
+			t.Fatalf("resolved %q, want ip:10.1.2.3", got)
+		}
+	}
+}
+
+// BenchmarkDiscoverReference benchmarks the retained map-based
+// discoverer on the same workloads as BenchmarkDiscover, for an in-tree
+// before/after comparison.
+func BenchmarkDiscoverReference(b *testing.B) {
+	for _, sz := range []struct{ groups, chain int }{{32, 8}, {128, 16}} {
+		edges, special := benchEdges(sz.groups, sz.chain)
+		b.Run(fmt.Sprintf("nodes=%d", sz.groups*sz.chain), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := discoverReference(edges, special); len(got) != sz.groups {
+					b.Fatalf("got %d groups, want %d", len(got), sz.groups)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"flowdiff/internal/core/appgroup"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/parallel"
 	"flowdiff/internal/stats"
 	"flowdiff/internal/topology"
 )
@@ -167,7 +168,7 @@ func buildAppFromGroups(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs
 	}
 
 	out := make([]AppSignature, len(groups))
-	parallelFor(len(groups), cfg.workers(), func(i int) {
+	parallel.For(len(groups), cfg.workers(), func(i int) {
 		out[i] = buildGroupSig(groups[i], log, cfg, occsByEdge, removedByEdge)
 	})
 	return out

@@ -2,13 +2,11 @@ package signature
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"flowdiff/internal/core/appgroup"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/parallel"
 )
 
 // Pipeline shares one occurrence-extraction pass across every signature
@@ -112,7 +110,7 @@ func (p *Pipeline) Stability(scfg StabilityConfig, full []AppSignature) (map[str
 	// builds run serially so the pool stays bounded at cfg.workers().
 	serial := p.cfg
 	serial.Parallelism = 1
-	parallelFor(len(segs), p.cfg.workers(), func(i int) {
+	parallel.For(len(segs), p.cfg.workers(), func(i int) {
 		intervals[i] = buildAppFromOccs(segs[i], p.r, serial, parts[i])
 	})
 	return Stabilities(full, intervals, scfg), nil
@@ -140,43 +138,10 @@ func partitionByStart(occs []Occurrence, segs []*flowlog.Log) [][]Occurrence {
 	return parts
 }
 
-// workers resolves the Parallelism knob: 0 means one worker per
-// available CPU, 1 forces sequential execution.
+// workers resolves the Parallelism knob: 0 (or negative) means one
+// worker per available CPU; requests above the CPU count are clamped
+// down, since extra goroutines beyond GOMAXPROCS only add scheduling
+// overhead. 1 forces sequential execution.
 func (c Config) workers() int {
-	if c.Parallelism > 0 {
-		return c.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// parallelFor runs fn(0..n-1) on a bounded pool of workers goroutines.
-// Each fn(i) must write only its own output slot; under that contract
-// the result is identical for every worker count. One worker (or one
-// item) degrades to a plain loop with no goroutines.
-func parallelFor(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return parallel.Clamp(c.Parallelism)
 }

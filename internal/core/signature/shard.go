@@ -1,10 +1,10 @@
 package signature
 
 import (
-	"runtime"
 	"time"
 
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/parallel"
 )
 
 // shardedMinEvents is the log size below which sharded extraction falls
@@ -54,11 +54,15 @@ func hashKey(k flowlog.FlowKey) uint32 {
 // the serial result exactly: byte-identical for every worker count,
 // pinned by TestOccurrencesShardedMatchesSerial.
 func OccurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occurrence {
+	return occurrencesSharded(log, gap, parallel.Clamp(workers))
+}
+
+// occurrencesSharded is the unclamped core: workers is taken as given,
+// so tests can pin shard counts above GOMAXPROCS (the sharding must be
+// byte-identical at any width, whatever the host size).
+func occurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occurrence {
 	if gap <= 0 {
 		gap = DefaultOccurrenceGap
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	n := len(log.Events)
 	if workers <= 1 || n < shardedMinEvents {
@@ -66,7 +70,7 @@ func OccurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occu
 	}
 	const liveBit = 1 << 31
 	hs := make([]uint32, n)
-	parallelFor(workers, workers, func(c int) {
+	parallel.For(workers, workers, func(c int) {
 		lo, hi := n*c/workers, n*(c+1)/workers
 		for i := lo; i < hi; i++ {
 			if relevant(log.Events[i].Type) {
@@ -75,7 +79,7 @@ func OccurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occu
 		}
 	})
 	parts := make([][]Occurrence, workers)
-	parallelFor(workers, workers, func(w int) {
+	parallel.For(workers, workers, func(w int) {
 		perKey := make(map[flowlog.FlowKey][]int32)
 		for i := 0; i < n; i++ {
 			h := hs[i]

@@ -64,6 +64,11 @@ func TestOccurrencesShardedMatchesSerial(t *testing.T) {
 			name = "shuffled"
 		}
 		t.Run(name, func(t *testing.T) {
+			// Raise GOMAXPROCS so the widths below mean real concurrency
+			// even on single-CPU CI hosts (the exported entry point clamps;
+			// the unclamped core is what this equivalence must hold for).
+			old := runtime.GOMAXPROCS(8)
+			defer runtime.GOMAXPROCS(old)
 			log := messyLog(t, 800, shuffle)
 			if len(log.Events) < shardedMinEvents {
 				t.Fatalf("log has %d events; need >= %d so the sharded path is really exercised", len(log.Events), shardedMinEvents)
@@ -73,7 +78,7 @@ func TestOccurrencesShardedMatchesSerial(t *testing.T) {
 				t.Fatal("serial extraction found nothing; equivalence would be vacuous")
 			}
 			for _, workers := range []int{1, 2, 4, 7, runtime.GOMAXPROCS(0)} {
-				got := OccurrencesSharded(log, 0, workers)
+				got := occurrencesSharded(log, 0, workers)
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("workers=%d: sharded extraction differs from serial (%d vs %d occurrences)", workers, len(got), len(want))
 				}
@@ -92,6 +97,20 @@ func TestOccurrencesShardedSmallLogFallback(t *testing.T) {
 	got := OccurrencesSharded(l, 0, 4)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("small-log sharded result differs: %+v vs %+v", got, want)
+	}
+}
+
+// TestOccurrencesShardedClampsWorkers: the exported entry point must
+// clamp absurd worker requests to the CPU count instead of spawning
+// hundreds of goroutines — and still produce the serial result.
+func TestOccurrencesShardedClampsWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	log := messyLog(t, 800, false)
+	want := Occurrences(log, 0)
+	got := OccurrencesSharded(log, 0, 512)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("clamped sharded extraction differs from serial (%d vs %d occurrences)", len(got), len(want))
 	}
 }
 

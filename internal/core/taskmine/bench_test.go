@@ -1,6 +1,7 @@
 package taskmine
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -26,14 +27,22 @@ func trainRuns(n, k int, seed int64) [][]Template {
 	return runs
 }
 
+// BenchmarkMine measures the full mining pipeline (common flows, apriori
+// pattern growth, closed pruning, segmentation) at two training-set
+// scales. Compare against BenchmarkMineReference: the same inputs through
+// the retained naive string-keyed miner.
 func BenchmarkMine(b *testing.B) {
-	runs := trainRuns(50, 8, 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Mine("bench", runs, Config{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, sz := range []struct{ runs, k int }{{20, 12}, {50, 30}} {
+		runs := trainRuns(sz.runs, sz.k, 1)
+		b.Run(fmt.Sprintf("runs=%d/len=%d", sz.runs, sz.k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Mine("bench", runs, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"flowdiff/internal/parallel"
 )
 
 // Pattern is a contiguous sequence of templates mined from the runs,
@@ -22,6 +24,15 @@ func (p Pattern) key() string {
 		sb.WriteString(t.String())
 	}
 	return sb.String()
+}
+
+// idPattern is a mined pattern over interned template IDs — the internal
+// working form; Seq materializes back to templates only once, when the
+// automaton's final state inventory is assembled.
+type idPattern struct {
+	seq      []int32
+	support  float64
+	fallback bool
 }
 
 // Automaton is a task signature: states are mined patterns; transitions
@@ -72,25 +83,48 @@ func Mine(name string, runs [][]Template, cfg Config) (*Automaton, error) {
 }
 
 // MineWithOptions is Mine with explicit algorithm variants.
+//
+// Every mining stage runs over interned template IDs (TemplateSet), and
+// the per-run work — support counting, candidate extension, closed
+// pruning, segmentation — fans out across Config.Parallelism workers
+// (clamped to the CPU count). Worker results merge in sorted candidate
+// order, so the mined automaton is byte-identical for every worker
+// count.
 func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions) (*Automaton, error) {
 	cfg = cfg.withDefaults()
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("taskmine: no runs for task %q", name)
 	}
+	workers := parallel.Clamp(cfg.Parallelism)
+
+	// Intern serially, before any fan-out: IDs are assigned by first
+	// appearance, so the mapping is a pure function of the input order.
+	set := NewTemplateSet()
+	idRuns := make([][]int32, len(runs))
+	for i, run := range runs {
+		idRuns[i] = set.InternRun(run)
+	}
 
 	// (1) Common flows: templates present in every run (S(T) of §III-D).
-	common := commonFlows(runs)
-	if len(common) == 0 {
+	common := commonIDs(idRuns, set.Len())
+	anyCommon := false
+	for _, c := range common {
+		if c {
+			anyCommon = true
+			break
+		}
+	}
+	if !anyCommon {
 		return nil, fmt.Errorf("taskmine: task %q has no flows common to all runs", name)
 	}
 
 	// (2) Filter runs down to common flows (T'_i).
-	filtered := make([][]Template, 0, len(runs))
-	for _, run := range runs {
-		var f []Template
-		for _, t := range run {
-			if common[t.String()] {
-				f = append(f, t)
+	filtered := make([][]int32, 0, len(idRuns))
+	for _, run := range idRuns {
+		var f []int32
+		for _, id := range run {
+			if common[id] {
+				f = append(f, id)
 			}
 		}
 		if len(f) > 0 {
@@ -103,31 +137,63 @@ func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions
 
 	// (3) Frequent contiguous patterns with apriori extension and closed
 	// pruning.
-	patterns := frequentPatterns(filtered, cfg.MinSupport)
+	patterns := frequentIDPatterns(filtered, cfg.MinSupport, set.Len(), workers)
 	states := patterns
 	if !opt.DisableClosedPruning {
-		states = closedPrune(patterns)
+		states = closedPruneIDs(patterns, workers)
 	}
 	// Keep every length-1 pattern available as a fallback so greedy
 	// segmentation is total; pruned singles are only used when no longer
 	// state fits.
-	states = ensureSingles(states, patterns)
+	states = ensureSinglesIDs(states, patterns)
 
+	// Materialize the state inventory and fix its order: longer first,
+	// then higher support, then key. The key is unique per distinct
+	// sequence (template renderings are bracketed, so concatenation is
+	// uniquely decodable), making this a total order — state order cannot
+	// depend on mining order or worker count.
+	finals := make([]Pattern, len(states))
+	stateSeqs := make([][]int32, len(states))
+	keys := make([]string, len(states))
+	for i, st := range states {
+		seq := make([]Template, len(st.seq))
+		for j, id := range st.seq {
+			seq[j] = set.Template(id)
+		}
+		finals[i] = Pattern{Seq: seq, Support: st.support, fallback: st.fallback}
+		stateSeqs[i] = st.seq
+		keys[i] = finals[i].key()
+	}
+	sort.Sort(&stateSorter{pats: finals, seqs: stateSeqs, keys: keys})
+
+	// The stored config describes the mined automaton, not the mining
+	// run: Parallelism is zeroed so automata mined at different widths
+	// compare equal.
+	acfg := cfg
+	acfg.Parallelism = 0
 	a := &Automaton{
 		Name:        name,
-		States:      states,
+		States:      finals,
 		start:       make(map[int]bool),
 		final:       make(map[int]bool),
 		transitions: make(map[int]map[int]bool),
-		cfg:         cfg,
+		cfg:         acfg,
 	}
+
 	// (4) Segment every run with the state inventory and record the
-	// transition structure.
-	for _, run := range filtered {
-		chunks, err := a.segment(run)
+	// transition structure. Runs segment independently (fan-out); the
+	// transition sets merge in run order, and set union commutes, so the
+	// automaton is identical at any width.
+	chunksPerRun := make([][]int, len(filtered))
+	errPerRun := make([]error, len(filtered))
+	parallel.For(len(filtered), workers, func(r int) {
+		chunksPerRun[r], errPerRun[r] = segmentIDs(stateSeqs, filtered[r], set)
+	})
+	for r, err := range errPerRun {
 		if err != nil {
 			return nil, fmt.Errorf("taskmine: segmenting run for %q: %w", name, err)
 		}
+		chunks := chunksPerRun[r]
 		a.start[chunks[0]] = true
 		a.final[chunks[len(chunks)-1]] = true
 		for i := 0; i+1 < len(chunks); i++ {
@@ -142,31 +208,325 @@ func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions
 	return a, nil
 }
 
-func commonFlows(runs [][]Template) map[string]bool {
-	counts := make(map[string]int)
-	for _, run := range runs {
-		seen := make(map[string]bool)
-		for _, t := range run {
-			k := t.String()
-			if !seen[k] {
-				seen[k] = true
-				counts[k]++
+// stateSorter orders the materialized states (and their parallel ID
+// sequences) longest first, then by support, then by key — the order
+// segmentation and matching iterate in.
+type stateSorter struct {
+	pats []Pattern
+	seqs [][]int32
+	keys []string
+}
+
+func (s *stateSorter) Len() int { return len(s.pats) }
+func (s *stateSorter) Less(i, j int) bool {
+	if len(s.pats[i].Seq) != len(s.pats[j].Seq) {
+		return len(s.pats[i].Seq) > len(s.pats[j].Seq)
+	}
+	if s.pats[i].Support != s.pats[j].Support {
+		return s.pats[i].Support > s.pats[j].Support
+	}
+	return s.keys[i] < s.keys[j]
+}
+func (s *stateSorter) Swap(i, j int) {
+	s.pats[i], s.pats[j] = s.pats[j], s.pats[i]
+	s.seqs[i], s.seqs[j] = s.seqs[j], s.seqs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// commonIDs reports, per interned template ID, whether the template
+// appears in every run — array counters instead of string-keyed maps.
+func commonIDs(runs [][]int32, numTemplates int) []bool {
+	counts := make([]int32, numTemplates)
+	seenIn := make([]int32, numTemplates)
+	for i := range seenIn {
+		seenIn[i] = -1
+	}
+	for r, run := range runs {
+		for _, id := range run {
+			if seenIn[id] != int32(r) {
+				seenIn[id] = int32(r)
+				counts[id]++
 			}
 		}
 	}
-	common := make(map[string]bool)
-	for k, c := range counts {
-		if c == len(runs) {
-			common[k] = true
-		}
+	common := make([]bool, numTemplates)
+	for id, c := range counts {
+		common[id] = int(c) == len(runs)
 	}
 	return common
 }
 
-// frequentPatterns mines contiguous sub-sequences whose support (fraction
-// of runs containing them) is at least minSup, growing length-wise with
-// apriori pruning (a pattern can only be frequent if its length-(L-1)
-// prefix and suffix are).
+// candCounter is one worker's support-counting state for a single
+// pattern length: candidates discovered in its run chunk, keyed by the
+// packed (prefix pattern ID, last template ID) identity, with per-run
+// stamps so a run supports a candidate at most once.
+type candCounter struct {
+	idx     map[int64]int32
+	counts  []int32
+	lastRun []int32
+}
+
+func newCandCounter() *candCounter {
+	return &candCounter{idx: make(map[int64]int32)}
+}
+
+func (c *candCounter) observe(key int64, run int32) {
+	li, ok := c.idx[key]
+	if !ok {
+		li = int32(len(c.counts))
+		c.idx[key] = li
+		c.counts = append(c.counts, 0)
+		c.lastRun = append(c.lastRun, -1)
+	}
+	if c.lastRun[li] != run {
+		c.lastRun[li] = run
+		c.counts[li]++
+	}
+}
+
+// frequentIDPatterns mines contiguous sub-sequences whose support
+// (fraction of runs containing them) is at least minSup, growing
+// length-wise with apriori pruning (a pattern can only be frequent if
+// its length-(L-1) prefix and suffix are).
+//
+// Candidates are identified positionally: pos[r][i] holds the dense ID
+// of the frequent length-(L-1) pattern starting at position i of run r
+// (or -1), so the apriori check is two array reads and a length-L
+// candidate is the packed pair (prefix pattern ID, last template ID) —
+// no per-window key strings. Support counting fans runs out across
+// workers; counts merge additively and candidates are emitted in sorted
+// packed-key order, so the result is identical at any worker count.
+func frequentIDPatterns(runs [][]int32, minSup float64, numTemplates int, workers int) []idPattern {
+	n := float64(len(runs))
+	var out []idPattern
+
+	// Length 1: candidates are the template IDs themselves.
+	counts := make([]int32, numTemplates)
+	seenIn := make([]int32, numTemplates)
+	for i := range seenIn {
+		seenIn[i] = -1
+	}
+	for r, run := range runs {
+		for _, id := range run {
+			if seenIn[id] != int32(r) {
+				seenIn[id] = int32(r)
+				counts[id]++
+			}
+		}
+	}
+	patID := make([]int32, numTemplates) // template ID -> dense L1 pattern ID
+	for i := range patID {
+		patID[i] = -1
+	}
+	prevSeqs := make([][]int32, 0, numTemplates)
+	for id := int32(0); id < int32(numTemplates); id++ {
+		if sup := float64(counts[id]) / n; sup+1e-12 >= minSup {
+			patID[id] = int32(len(prevSeqs))
+			prevSeqs = append(prevSeqs, []int32{id})
+			out = append(out, idPattern{seq: []int32{id}, support: sup})
+		}
+	}
+	if len(prevSeqs) == 0 {
+		return out
+	}
+
+	// pos[r][i] = dense frequent-pattern ID of the current-length window
+	// starting at i, or -1.
+	pos := make([][]int32, len(runs))
+	for r, run := range runs {
+		p := make([]int32, len(run))
+		for i, id := range run {
+			p[i] = patID[id]
+		}
+		pos[r] = p
+	}
+
+	for length := 2; ; length++ {
+		// Chunk the runs across workers; each worker counts its chunk's
+		// candidates locally.
+		if workers > len(runs) {
+			workers = len(runs)
+		}
+		locals := make([]*candCounter, workers)
+		parallel.For(workers, workers, func(w int) {
+			cc := newCandCounter()
+			lo, hi := len(runs)*w/workers, len(runs)*(w+1)/workers
+			for r := lo; r < hi; r++ {
+				run, p := runs[r], pos[r]
+				for i := 0; i+length <= len(run); i++ {
+					// Apriori: prefix and suffix must be frequent at L-1.
+					if p[i] < 0 || p[i+1] < 0 {
+						continue
+					}
+					cc.observe(packCand(p[i], run[i+length-1]), int32(r))
+				}
+			}
+			locals[w] = cc
+		})
+
+		// Deterministic merge: counts are additive, so worker order does
+		// not matter; candidates are then emitted in sorted key order.
+		total := make(map[int64]int32)
+		for _, cc := range locals {
+			for key, li := range cc.idx {
+				total[key] += cc.counts[li]
+			}
+		}
+		cands := make([]int64, 0, len(total))
+		for key := range total {
+			cands = append(cands, key)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+		freqID := make(map[int64]int32, len(cands))
+		nextSeqs := make([][]int32, 0, len(cands))
+		for _, key := range cands {
+			sup := float64(total[key]) / n
+			if sup+1e-12 < minSup {
+				continue
+			}
+			prefix, last := int32(key>>32), int32(uint32(key))
+			seq := make([]int32, length)
+			copy(seq, prevSeqs[prefix])
+			seq[length-1] = last
+			freqID[key] = int32(len(nextSeqs))
+			nextSeqs = append(nextSeqs, seq)
+			out = append(out, idPattern{seq: seq, support: sup})
+		}
+		if len(nextSeqs) == 0 {
+			break
+		}
+
+		// Re-stamp the positions with the new length's pattern IDs.
+		parallel.For(len(runs), workers, func(r int) {
+			run, p := runs[r], pos[r]
+			for i := 0; i+length <= len(run); i++ {
+				id := int32(-1)
+				if p[i] >= 0 && p[i+1] >= 0 {
+					if fi, ok := freqID[packCand(p[i], run[i+length-1])]; ok {
+						id = fi
+					}
+				}
+				p[i] = id
+			}
+			// Positions with no length-L window left have no pattern.
+			for i := len(run) - length + 1; i < len(run); i++ {
+				if i >= 0 {
+					p[i] = -1
+				}
+			}
+		})
+		prevSeqs = nextSeqs
+	}
+	return out
+}
+
+// closedPruneIDs removes patterns that are contiguous sub-sequences of a
+// longer pattern with the same support (§III-D: closed frequent
+// patterns). Each pattern's verdict is independent, so they fan out.
+func closedPruneIDs(patterns []idPattern, workers int) []idPattern {
+	pruned := make([]bool, len(patterns))
+	parallel.For(len(patterns), workers, func(i int) {
+		p := patterns[i]
+		for _, q := range patterns {
+			if len(q.seq) <= len(p.seq) {
+				continue
+			}
+			if q.support == p.support && containsSubIDs(q.seq, p.seq) {
+				pruned[i] = true
+				return
+			}
+		}
+	})
+	out := make([]idPattern, 0, len(patterns))
+	for i, p := range patterns {
+		if !pruned[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsSubIDs(hay, needle []int32) bool {
+	if len(needle) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ensureSinglesIDs re-adds pruned length-1 patterns as fallback states.
+func ensureSinglesIDs(states, all []idPattern) []idPattern {
+	have := make(map[int32]bool)
+	for _, s := range states {
+		if len(s.seq) == 1 {
+			have[s.seq[0]] = true
+		}
+	}
+	out := append([]idPattern(nil), states...)
+	for _, p := range all {
+		if len(p.seq) == 1 && !have[p.seq[0]] {
+			p.fallback = true
+			out = append(out, p)
+			have[p.seq[0]] = true
+		}
+	}
+	return out
+}
+
+// segmentIDs greedily covers a run with states: longest state first,
+// ties by support (the two rules of §III-D step 3). States are already
+// in that order.
+func segmentIDs(states [][]int32, run []int32, set *TemplateSet) ([]int, error) {
+	var chunks []int
+	pos := 0
+	for pos < len(run) {
+		matched := -1
+		for si, st := range states {
+			if pos+len(st) > len(run) {
+				continue
+			}
+			ok := true
+			for j, id := range st {
+				if run[pos+j] != id {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = si
+				break // states are sorted longest/most-frequent first
+			}
+		}
+		if matched < 0 {
+			return nil, fmt.Errorf("no state matches at position %d (%v)", pos, set.Template(run[pos]))
+		}
+		chunks = append(chunks, matched)
+		pos += len(states[matched])
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("empty segmentation")
+	}
+	return chunks, nil
+}
+
+// --- naive []Template mining stages ----------------------------------
+//
+// The string-keyed forms below are retained for the paper-example tests
+// (which drive the stages directly on template sequences) and as the
+// reference the interned pipeline is pinned against; Mine itself runs
+// entirely over interned IDs.
+
+// frequentPatterns mines contiguous sub-sequences whose support is at
+// least minSup over template sequences directly.
 func frequentPatterns(runs [][]Template, minSup float64) []Pattern {
 	n := float64(len(runs))
 	var out []Pattern
@@ -230,8 +590,7 @@ func patternKey(seq []Template) string {
 }
 
 // closedPrune removes patterns that are contiguous sub-sequences of a
-// longer pattern with the same support (§III-D: closed frequent
-// patterns).
+// longer pattern with the same support.
 func closedPrune(patterns []Pattern) []Pattern {
 	var out []Pattern
 	for _, p := range patterns {
@@ -266,69 +625,4 @@ outer:
 		return true
 	}
 	return false
-}
-
-// ensureSingles re-adds pruned length-1 patterns as fallback states.
-func ensureSingles(states, all []Pattern) []Pattern {
-	have := make(map[string]bool)
-	for _, s := range states {
-		if len(s.Seq) == 1 {
-			have[s.key()] = true
-		}
-	}
-	out := append([]Pattern(nil), states...)
-	for _, p := range all {
-		if len(p.Seq) == 1 && !have[p.key()] {
-			p.fallback = true
-			out = append(out, p)
-			have[p.key()] = true
-		}
-	}
-	// Deterministic state order: longer first, then higher support, then
-	// key; segmentation and matching iterate in this order.
-	sort.SliceStable(out, func(i, j int) bool {
-		if len(out[i].Seq) != len(out[j].Seq) {
-			return len(out[i].Seq) > len(out[j].Seq)
-		}
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		return out[i].key() < out[j].key()
-	})
-	return out
-}
-
-// segment greedily covers a run with states: longest state first, ties by
-// support (the two rules of §III-D step 3).
-func (a *Automaton) segment(run []Template) ([]int, error) {
-	var chunks []int
-	pos := 0
-	for pos < len(run) {
-		matched := -1
-		for si, st := range a.States {
-			if pos+len(st.Seq) > len(run) {
-				continue
-			}
-			ok := true
-			for j, t := range st.Seq {
-				if run[pos+j] != t {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				matched = si
-				break // states are sorted longest/most-frequent first
-			}
-		}
-		if matched < 0 {
-			return nil, fmt.Errorf("no state matches at position %d (%v)", pos, run[pos])
-		}
-		chunks = append(chunks, matched)
-		pos += len(a.States[matched].Seq)
-	}
-	if len(chunks) == 0 {
-		return nil, fmt.Errorf("empty segmentation")
-	}
-	return chunks, nil
 }

@@ -86,3 +86,27 @@ func goLocalOK() {
 		_ = local
 	}()
 }
+
+// RWMutex-bearing structs (the memoizing-resolver pattern) are guarded
+// the same way plain Mutex holders are.
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func rwCopyParam(c cache) int { // want "parameter receives cache.mu: sync.RWMutex by value"
+	return len(c.m)
+}
+
+func rwGuardedOK(c *cache, k string) int {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	c.mu.Lock()
+	c.m[k] = 1
+	c.mu.Unlock()
+	return 1
+}

@@ -68,6 +68,16 @@ func indexWriteOK(m map[string]int) map[string]int {
 	return out
 }
 
+// The worker-local merge pattern: additive integer accumulation into a
+// key-indexed map entry commutes, so iteration order cannot leak.
+func indexAccumOK(m map[string]int) map[string]int {
+	total := make(map[string]int)
+	for k, v := range m {
+		total[k] += v
+	}
+	return total
+}
+
 func localAppendOK(m map[string][]int) int {
 	total := 0
 	for _, vs := range m {

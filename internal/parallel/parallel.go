@@ -1,0 +1,59 @@
+// Package parallel holds the one worker-pool primitive every fan-out in
+// the repo shares (signature pipeline, sharded extraction, task mining,
+// stability intervals), plus the worker-count policy: requested widths
+// are clamped to the hardware so a single-CPU host never pays goroutine
+// fan-out overhead for parallelism it cannot realize.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp resolves a requested worker count against the hardware:
+// non-positive means "one worker per CPU", and any request wider than
+// GOMAXPROCS is cut down to it — extra workers beyond the CPU count only
+// add scheduling and merge overhead (BENCH_1.json measured 20–70% on a
+// 1-CPU host). A clamped result of 1 is the contract for callers to take
+// their serial fast path.
+func Clamp(requested int) int {
+	max := runtime.GOMAXPROCS(0)
+	if requested <= 0 || requested > max {
+		return max
+	}
+	return requested
+}
+
+// For runs fn(0..n-1) on a bounded pool of workers goroutines. Each
+// fn(i) must write only its own output slot; under that contract the
+// result is identical for every worker count. One worker (or one item)
+// degrades to a plain loop with no goroutines. The caller picks workers
+// (typically via Clamp); For itself only trims workers to n.
+func For(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := map[int]int{
+		0:        max,
+		-3:       max,
+		1:        1,
+		max:      max,
+		max + 5:  max,
+		max + 50: max,
+	}
+	for req, want := range cases {
+		if got := Clamp(req); got != want {
+			t.Errorf("Clamp(%d) = %d, want %d (GOMAXPROCS %d)", req, got, want, max)
+		}
+	}
+}
+
+// TestClampTracksGOMAXPROCS pins that the clamp reads the live setting,
+// not a cached one: tests that raise GOMAXPROCS to exercise real
+// concurrency on small hosts rely on this.
+func TestClampTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(3)
+	if got := Clamp(8); got != 3 {
+		t.Errorf("Clamp(8) under GOMAXPROCS=3 = %d, want 3", got)
+	}
+	if got := Clamp(2); got != 2 {
+		t.Errorf("Clamp(2) under GOMAXPROCS=3 = %d, want 2", got)
+	}
+}

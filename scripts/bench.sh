@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Perf-trajectory tracker: runs the benchmarks that gate the hot paths
-# (BuildSignatures, occurrence extraction, Monitor flush) and writes a
-# machine-readable bench_results/BENCH_<n>.json, so speedups and
-# regressions are comparable across PRs.
+# (BuildSignatures, occurrence extraction, Monitor flush, stability,
+# task mining, group discovery) and writes a machine-readable
+# bench_results/BENCH_<n>.json, so speedups and regressions are
+# comparable across PRs.
 #
 # Usage: scripts/bench.sh            (default -benchtime 3x)
 #        BENCHTIME=10x scripts/bench.sh
@@ -16,18 +17,27 @@ while [ -e "bench_results/BENCH_${n}.json" ]; do n=$((n + 1)); done
 out="bench_results/BENCH_${n}.json"
 
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability}"
+filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" \
-	. ./internal/core/signature | tee "$raw"
+	. ./internal/core/signature ./internal/core/taskmine ./internal/core/appgroup | tee "$raw"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" '
-BEGIN { printf "{\n  \"schema\": 1,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, goversion; nbench = 0 }
+# Record the hardware parallelism the numbers were taken at: worker
+# clamping makes workers>GOMAXPROCS runs equivalent to serial, so a
+# BENCH_<n>.json is only comparable to another taken at the same width.
+numcpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" \
+	-v numcpu="$numcpu" '
+BEGIN { printf "{\n  \"schema\": 1,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"num_cpu\": %s,\n", date, goversion, numcpu; nbench = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
 	name = $1; iters = $2
+	# The -N suffix of every benchmark name is the GOMAXPROCS the run
+	# used (Go appends it only when N != 1); surface it as a top-level
+	# field.
+	if (gomaxprocs == "" && match(name, /-[0-9]+$/)) gomaxprocs = substr(name, RSTART + 1)
 	m = ""
 	for (i = 3; i + 1 <= NF; i += 2) {
 		if (m != "") m = m ", "
@@ -38,7 +48,9 @@ BEGIN { printf "{\n  \"schema\": 1,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", 
 	nbench++
 }
 END {
-	printf "  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", cpu, benches
+	# No suffix on any name means the runs executed at GOMAXPROCS=1.
+	if (gomaxprocs == "") gomaxprocs = (nbench > 0) ? 1 : 0
+	printf "  \"gomaxprocs\": %s,\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", gomaxprocs, cpu, benches
 }' "$raw" > "$out"
 
 echo "wrote $out"

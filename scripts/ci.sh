@@ -14,4 +14,8 @@ go vet ./...
 go run ./cmd/flowdifflint ./...
 go build ./...
 go test -race ./...
+# ./... picks up every bench, including the hot-path gates tracked in
+# bench_results/ (BuildSignatures, Occurrences, MonitorFlush,
+# AnalyzeStability, Mine, Discover) and their retained naive
+# *Reference counterparts.
 go test -run '^$' -bench . -benchtime 1x ./...
