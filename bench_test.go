@@ -244,7 +244,7 @@ func BenchmarkOccurrences(b *testing.B) {
 			b.Run(fmt.Sprintf("events=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					signature.OccurrencesSharded(log, 0, workers)
+					signature.OccurrencesSharded(log, signature.Config{Parallelism: workers})
 				}
 			})
 		}

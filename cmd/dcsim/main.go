@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"flowdiff/internal/faults"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/simnet"
 	"flowdiff/internal/topology"
 	"flowdiff/internal/workload"
@@ -43,8 +44,18 @@ func run() error {
 		mode     = flag.String("mode", "reactive", "controller mode: reactive | wildcard | proactive")
 		out      = flag.String("out", "", "output file (default stdout)")
 		format   = flag.String("format", "json", "output format: json | binary")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the simulation runs")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		bound, stop, err := obs.Serve(*metrics, obs.Default())
+		if err != nil {
+			return fmt.Errorf("starting metrics server: %w", err)
+		}
+		defer func() { _ = stop() }()
+		fmt.Fprintf(os.Stderr, "dcsim: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", bound)
+	}
 
 	cfg := simnet.Config{Seed: *seed}
 	switch *mode {

@@ -7,16 +7,28 @@
 //
 //	flowdiff -baseline l1.json -current l2.json
 //	flowdiff -baseline l1.json -current l2.json -topo lab
+//	flowdiff -baseline l1.json -current l2.json -stats
+//	flowdiff serve -baseline l1.json -current l2.json
+//
+// The serve subcommand keeps the process alive after printing the
+// report, exposing /metrics (the obs snapshot), /debug/vars, and
+// /debug/pprof/ on -metrics-addr (default 127.0.0.1:8080) until
+// interrupted. Without the subcommand, -metrics-addr serves the same
+// endpoints only for the lifetime of the comparison, and -stats prints
+// a human-readable stage-timing summary to stderr at exit.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"flowdiff"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/topology"
 )
 
@@ -28,12 +40,21 @@ func main() {
 }
 
 func run() error {
+	args := os.Args[1:]
+	serveMode := len(args) > 0 && args[0] == "serve"
+	if serveMode {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("flowdiff", flag.ExitOnError)
 	var (
-		baselinePath = flag.String("baseline", "", "baseline (L1) log JSON")
-		currentPath  = flag.String("current", "", "current (L2) log JSON")
-		topoFlag     = flag.String("topo", "lab", "topology for host naming: lab | tree320 | none")
+		baselinePath = fs.String("baseline", "", "baseline (L1) log JSON")
+		currentPath  = fs.String("current", "", "current (L2) log JSON")
+		topoFlag     = fs.String("topo", "lab", "topology for host naming: lab | tree320 | none")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (serve subcommand defaults to 127.0.0.1:8080)")
+		stats        = fs.Bool("stats", false, "print an end-of-run metrics summary to stderr")
 	)
-	flag.Parse()
+	// ExitOnError: Parse never returns a non-nil error to us.
+	_ = fs.Parse(args)
 	if *baselinePath == "" || *currentPath == "" {
 		return fmt.Errorf("both -baseline and -current are required")
 	}
@@ -82,7 +103,25 @@ func run() error {
 		return fmt.Errorf("unknown topology %q", *topoFlag)
 	}
 
-	report, err := flowdiff.Compare(l1, l2, nil, flowdiff.Thresholds{}, opts)
+	// A fresh registry keeps this run's metrics isolated from anything
+	// else using obs.Default in-process.
+	reg := obs.New()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	addr := *metricsAddr
+	if serveMode && addr == "" {
+		addr = "127.0.0.1:8080"
+	}
+	var stopMetrics func() error
+	if addr != "" {
+		bound, stop, err := obs.Serve(addr, reg)
+		if err != nil {
+			return fmt.Errorf("starting metrics server: %w", err)
+		}
+		stopMetrics = stop
+		fmt.Fprintf(os.Stderr, "flowdiff: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", bound)
+	}
+
+	report, err := flowdiff.CompareContext(ctx, l1, l2, nil, flowdiff.Thresholds{}, opts)
 	if err != nil {
 		return err
 	}
@@ -92,7 +131,7 @@ func run() error {
 
 	if len(report.Known)+len(report.Unknown) == 0 {
 		fmt.Println("no behavioral changes detected")
-		return nil
+		return finish(serveMode, *stats, reg, stopMetrics)
 	}
 	if len(report.Known) > 0 {
 		fmt.Printf("KNOWN changes (explained by operator tasks): %d\n", len(report.Known))
@@ -120,6 +159,28 @@ func run() error {
 			break
 		}
 		fmt.Printf("  %2d changes  %s\n", c.Changes, c.Component)
+	}
+	return finish(serveMode, *stats, reg, stopMetrics)
+}
+
+// finish handles the post-report tail shared by every exit path that
+// produced output: the -stats summary, the serve subcommand's blocking
+// wait, and metrics-listener shutdown.
+func finish(serveMode, stats bool, reg *obs.Registry, stopMetrics func() error) error {
+	if stats {
+		fmt.Fprintln(os.Stderr)
+		if err := obs.WriteSummary(os.Stderr, reg.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if serveMode {
+		fmt.Fprintln(os.Stderr, "flowdiff: report complete; metrics endpoints stay up (interrupt to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	if stopMetrics != nil {
+		return stopMetrics()
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+// Command obsbench runs one representative end-to-end comparison (the
+// case-5 lab scenario with a host shutdown) against a fresh obs
+// registry and prints the resulting metrics snapshot as JSON on stdout.
+// scripts/bench.sh embeds the output into bench_results/BENCH_<n>.json,
+// so every recorded benchmark run also carries the stage-timing
+// breakdown (span.signature.*, span.diff.*, pool occupancy) it was
+// taken with.
+//
+// Usage:
+//
+//	obsbench            (3-minute virtual captures, seed 1)
+//	obsbench -seed 7 -dur 1m
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/faults"
+	"flowdiff/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed = flag.Int64("seed", 1, "scenario random seed")
+		dur  = flag.Duration("dur", 3*time.Minute, "virtual capture duration per log")
+	)
+	flag.Parse()
+
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:        *seed,
+		BaselineDur: *dur,
+		FaultDur:    *dur,
+		Faults:      []faults.Injector{faults.HostShutdown{Host: "S3"}},
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := obs.New()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	if _, err := flowdiff.CompareContext(ctx, res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options()); err != nil {
+		return err
+	}
+	_, err = fmt.Println(reg.String())
+	return err
+}

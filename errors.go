@@ -1,0 +1,20 @@
+package flowdiff
+
+import "errors"
+
+// Sentinel errors returned (wrapped) by the public API. Match them with
+// errors.Is; the wrapping text carries the operation that failed.
+var (
+	// ErrEmptyLog reports a nil log, or one with no events: there is
+	// nothing to model. BuildSignaturesContext and CompareContext (for
+	// the current log) return it.
+	ErrEmptyLog = errors.New("empty log")
+	// ErrNoBaseline reports a missing baseline: NewMonitor and
+	// CompareContext need a known-good log to diff against.
+	ErrNoBaseline = errors.New("no baseline")
+	// ErrCanceled reports that the context was canceled mid-build and
+	// the partial products were discarded. It always wraps the
+	// underlying ctx.Err(), so errors.Is(err, context.Canceled) (or
+	// DeadlineExceeded) also matches.
+	ErrCanceled = errors.New("canceled")
+)

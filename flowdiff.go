@@ -21,6 +21,7 @@
 package flowdiff
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"flowdiff/internal/core/signature"
 	"flowdiff/internal/core/taskmine"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/parallel"
 	"flowdiff/internal/topology"
 )
@@ -74,11 +76,23 @@ type Options struct {
 	Signature signature.Config
 	// Stability tunes the per-interval analysis (zero = defaults).
 	Stability signature.StabilityConfig
-	// Parallelism bounds the modeling worker pool: per-group signature
-	// builds, per-interval stability builds, and the two halves of
-	// Compare. 0 uses one worker per CPU; 1 forces fully sequential
-	// modeling. Diagnosis output is identical for every setting.
+	// Parallelism bounds the modeling worker pool: sharded occurrence
+	// extraction, per-group signature builds, per-interval stability
+	// builds, and the two halves of Compare — one knob for every
+	// fan-out. The value follows the parallel.Clamp contract: 0 (or
+	// negative) uses one worker per CPU, requests above GOMAXPROCS are
+	// clamped down to it, and 1 forces fully sequential modeling.
+	// Diagnosis output is identical for every setting.
 	Parallelism int
+}
+
+// WithWorkers returns a copy of o with every worker pool bounded by n,
+// overriding both Parallelism and any explicit Signature.Parallelism.
+// The clamp contract is Parallelism's (see that field).
+func (o Options) WithWorkers(n int) Options {
+	o.Parallelism = n
+	o.Signature.Parallelism = n
+	return o
 }
 
 func (o Options) resolver() *appgroup.Resolver {
@@ -114,24 +128,36 @@ type Signatures struct {
 	opts      Options
 }
 
-// BuildSignatures runs FlowDiff's modeling phase on a log. The phase is
-// single-pass: flow occurrences are extracted once — sharded by
-// flow-key hash across the worker pool on large logs — and shared by
+// BuildSignatures is BuildSignaturesContext with a background context.
+func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
+	return BuildSignaturesContext(context.Background(), log, opts)
+}
+
+// BuildSignaturesContext runs FlowDiff's modeling phase on a log. The
+// phase is single-pass: flow occurrences are extracted once — sharded
+// by flow-key hash across the worker pool on large logs — and shared by
 // the application, infrastructure, and stability builds, which fan out
 // onto a worker pool bounded by Options.Parallelism.
-func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
-	if log == nil {
-		return nil, fmt.Errorf("flowdiff: nil log")
+//
+// A nil or event-free log returns ErrEmptyLog. Canceling ctx stops the
+// fan-outs mid-build, drains the pool, discards the partial products,
+// and returns ErrCanceled wrapping ctx.Err(). Stage timings and
+// counters go to the obs registry traveling in ctx (obs.Default when
+// none does); instrumentation never changes the output.
+func BuildSignaturesContext(ctx context.Context, log *Log, opts Options) (*Signatures, error) {
+	if log == nil || len(log.Events) == 0 {
+		return nil, fmt.Errorf("flowdiff: building signatures: %w", ErrEmptyLog)
 	}
-	p := signature.NewPipeline(log, opts.resolver(), opts.sigConfig())
-	return signaturesFromPipeline(log, p, opts)
+	defer obs.Span(ctx, "flowdiff.build").End()
+	p := signature.NewPipelineContext(ctx, log, opts.resolver(), opts.sigConfig())
+	return signaturesFromPipeline(ctx, log, p, opts)
 }
 
 // signaturesFromPipeline builds every signature product from a prepared
 // pipeline. Shared between BuildSignatures (which extracts occurrences
 // itself) and Monitor (which hands the pipeline incrementally extracted
 // occurrences and cached groups).
-func signaturesFromPipeline(log *Log, p *signature.Pipeline, opts Options) (*Signatures, error) {
+func signaturesFromPipeline(ctx context.Context, log *Log, p *signature.Pipeline, opts Options) (*Signatures, error) {
 	apps := p.App()
 	infra := p.Infra()
 	var stab map[string]Stability
@@ -139,34 +165,70 @@ func signaturesFromPipeline(log *Log, p *signature.Pipeline, opts Options) (*Sig
 		var err error
 		stab, err = p.Stability(opts.Stability, apps)
 		if err != nil {
+			if cerr := canceled(ctx); cerr != nil {
+				return nil, fmt.Errorf("flowdiff: building signatures: %w", cerr)
+			}
 			return nil, fmt.Errorf("flowdiff: stability analysis: %w", err)
 		}
 	}
+	// The fan-outs above return partial products after cancellation;
+	// discard them rather than hand back a half-built model.
+	if cerr := canceled(ctx); cerr != nil {
+		return nil, fmt.Errorf("flowdiff: building signatures: %w", cerr)
+	}
 	return &Signatures{Apps: apps, Infra: infra, Stability: stab, Log: log, opts: opts}, nil
+}
+
+// canceled returns ErrCanceled wrapping ctx.Err() when ctx is done, nil
+// otherwise. The double wrap lets callers match either the package
+// sentinel or the stdlib cause.
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
 }
 
 // Diff compares a baseline's signatures against a current log's
 // signatures; the baseline's stability report filters unstable
 // components.
 func Diff(base, cur *Signatures, th Thresholds) []Change {
+	return DiffContext(context.Background(), base, cur, th)
+}
+
+// DiffContext is Diff with the comparison timed into ctx's obs registry
+// (span "diff.compare", counter "diff.changes"). The diff itself is a
+// single in-memory pass and is not cancellable.
+func DiffContext(ctx context.Context, base, cur *Signatures, th Thresholds) []Change {
 	if base == nil || cur == nil {
 		return nil
 	}
-	return diff.Compare(base.Apps, cur.Apps, base.Infra, cur.Infra, base.Stability, th)
+	return diff.CompareContext(ctx, base.Apps, cur.Apps, base.Infra, cur.Infra, base.Stability, th)
 }
 
 // TaskConfig re-exports the task-mining configuration.
 type TaskConfig = taskmine.Config
 
-// MineTask learns a task automaton from several runs of the same task,
-// where each run is the ordered flow sequence the task produced.
+// MineTask is MineTaskContext with a background context.
 func MineTask(name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
+	return MineTaskContext(context.Background(), name, runs, cfg)
+}
+
+// MineTaskContext learns a task automaton from several runs of the same
+// task, where each run is the ordered flow sequence the task produced.
+// Canceling ctx stops mining between phases and returns ErrCanceled
+// wrapping ctx.Err(); mining phase timings land in ctx's obs registry
+// as span.taskmine.* histograms.
+func MineTaskContext(ctx context.Context, name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
 	templates := make([][]taskmine.Template, 0, len(runs))
 	for _, run := range runs {
 		templates = append(templates, taskmine.Normalize(run, cfg))
 	}
-	a, err := taskmine.Mine(name, templates, cfg)
+	a, err := taskmine.MineContext(ctx, name, templates, cfg)
 	if err != nil {
+		if cerr := canceled(ctx); cerr != nil {
+			return nil, fmt.Errorf("flowdiff: mining task %q: %w", name, cerr)
+		}
 		return nil, fmt.Errorf("flowdiff: %w", err)
 	}
 	return a, nil
@@ -193,11 +255,28 @@ func Diagnose(changes []Change, tasks []TaskDetection, opts Options) Report {
 	return diagnose.Diagnose(changes, tasks, opts.resolver(), 0)
 }
 
-// Compare is the one-call convenience API: model both logs, diff, detect
-// tasks in the current log, and diagnose. With Parallelism != 1 the two
-// modeling halves run concurrently (signature state is per-log, and the
-// shared topology is read-only).
+// Compare is CompareContext with a background context.
 func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
+	return CompareContext(context.Background(), baseline, current, automata, th, opts)
+}
+
+// CompareContext is the one-call convenience API: model both logs,
+// diff, detect tasks in the current log, and diagnose. With
+// Parallelism != 1 the two modeling halves run concurrently (signature
+// state is per-log, and the shared topology is read-only).
+//
+// A missing baseline returns ErrNoBaseline; a missing current log
+// returns ErrEmptyLog; cancellation surfaces as ErrCanceled from the
+// modeling halves. Stage timings and counters accumulate into ctx's obs
+// registry; the report is byte-identical whether or not one is present.
+func CompareContext(ctx context.Context, baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
+	if baseline == nil || len(baseline.Events) == 0 {
+		return Report{}, fmt.Errorf("flowdiff: compare: %w", ErrNoBaseline)
+	}
+	if current == nil || len(current.Events) == 0 {
+		return Report{}, fmt.Errorf("flowdiff: compare: current: %w", ErrEmptyLog)
+	}
+	defer obs.Span(ctx, "flowdiff.compare").End()
 	var (
 		base, cur  *Signatures
 		berr, cerr error
@@ -208,13 +287,13 @@ func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, o
 		go func() {
 			defer wg.Done()
 			//lint:ignore locksafe single writer per variable; wg.Add happens-before the goroutine and wg.Wait orders these writes before the read
-			base, berr = BuildSignatures(baseline, opts)
+			base, berr = BuildSignaturesContext(ctx, baseline, opts)
 		}()
-		cur, cerr = BuildSignatures(current, opts)
+		cur, cerr = BuildSignaturesContext(ctx, current, opts)
 		wg.Wait()
 	} else {
-		base, berr = BuildSignatures(baseline, opts)
-		cur, cerr = BuildSignatures(current, opts)
+		base, berr = BuildSignaturesContext(ctx, baseline, opts)
+		cur, cerr = BuildSignaturesContext(ctx, current, opts)
 	}
 	if berr != nil {
 		return Report{}, berr
@@ -222,7 +301,7 @@ func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, o
 	if cerr != nil {
 		return Report{}, cerr
 	}
-	changes := Diff(base, cur, th)
+	changes := DiffContext(ctx, base, cur, th)
 	tasks := DetectTasks(current, automata, opts.Signature.OccurrenceGap)
 	return Diagnose(changes, tasks, opts), nil
 }

@@ -6,6 +6,7 @@
 package diff
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"flowdiff/internal/core/appgroup"
 	"flowdiff/internal/core/signature"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/stats"
 	"flowdiff/internal/topology"
 )
@@ -111,6 +113,33 @@ type Change struct {
 // Compare diffs application and infrastructure signatures. baseStab may
 // be nil to compare everything regardless of stability.
 func Compare(
+	base, cur []signature.AppSignature,
+	baseInf, curInf signature.InfraSignature,
+	baseStab map[string]signature.Stability,
+	th Thresholds,
+) []Change {
+	return CompareContext(context.Background(), base, cur, baseInf, curInf, baseStab, th)
+}
+
+// CompareContext is Compare with the span "diff.compare" timed and the
+// counter "diff.changes" accumulated into ctx's obs registry. The
+// comparison itself is a single pass over already-built signatures and
+// is not cancellable mid-flight; ctx only carries the registry.
+func CompareContext(
+	ctx context.Context,
+	base, cur []signature.AppSignature,
+	baseInf, curInf signature.InfraSignature,
+	baseStab map[string]signature.Stability,
+	th Thresholds,
+) []Change {
+	sp := obs.Span(ctx, "diff.compare")
+	changes := compare(base, cur, baseInf, curInf, baseStab, th)
+	sp.End()
+	obs.From(ctx).Counter("diff.changes").Add(int64(len(changes)))
+	return changes
+}
+
+func compare(
 	base, cur []signature.AppSignature,
 	baseInf, curInf signature.InfraSignature,
 	baseStab map[string]signature.Stability,

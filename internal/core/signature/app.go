@@ -1,11 +1,13 @@
 package signature
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"flowdiff/internal/core/appgroup"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/parallel"
 	"flowdiff/internal/stats"
 	"flowdiff/internal/topology"
@@ -141,11 +143,11 @@ func BuildApp(log *flowlog.Log, r *appgroup.Resolver, cfg Config) []AppSignature
 	return NewPipeline(log, r, cfg).App()
 }
 
-func buildAppFromOccs(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
-	return buildAppFromGroups(log, r, cfg, occs, appgroup.Discover(log, r, cfg.Special))
+func buildAppFromOccs(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
+	return buildAppFromGroups(ctx, log, r, cfg, occs, appgroup.Discover(log, r, cfg.Special))
 }
 
-func buildAppFromGroups(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence, groups []appgroup.Group) []AppSignature {
+func buildAppFromGroups(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence, groups []appgroup.Group) []AppSignature {
 	if len(groups) == 0 {
 		return nil
 	}
@@ -168,8 +170,13 @@ func buildAppFromGroups(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs
 	}
 
 	out := make([]AppSignature, len(groups))
-	parallel.For(len(groups), cfg.workers(), func(i int) {
+	reg := obs.From(ctx)
+	// The error is ctx.Err(); the public entry points surface it after
+	// the build, and a canceled pipeline's products are discarded.
+	_ = parallel.ForContext(ctx, len(groups), cfg.workers(), func(i int) {
+		sp := reg.Span("signature.group_build")
 		out[i] = buildGroupSig(groups[i], log, cfg, occsByEdge, removedByEdge)
+		sp.End()
 	})
 	return out
 }

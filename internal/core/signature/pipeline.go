@@ -1,11 +1,13 @@
 package signature
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"flowdiff/internal/core/appgroup"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/parallel"
 )
 
@@ -24,7 +26,16 @@ import (
 // application group, per interval) onto a bounded worker pool. Output is
 // deterministic: every worker writes only its own slot, so results are
 // identical for any worker count.
+//
+// The pipeline carries the context it was created with: fan-outs run on
+// parallel.ForContext (so cancellation stops dispatch and the pool
+// drains), and stage timings/counters go to the context's obs registry
+// (span.signature.* histograms, signature.* counters). After
+// cancellation the pipeline's products are partial; callers observe
+// ctx.Err() and must discard them — flowdiff.BuildSignaturesContext
+// does exactly that.
 type Pipeline struct {
+	ctx  context.Context
 	log  *flowlog.Log
 	r    *appgroup.Resolver
 	cfg  Config
@@ -36,24 +47,41 @@ type Pipeline struct {
 	hasGroups bool
 }
 
-// NewPipeline extracts the log's flow occurrences once — sharded by
-// flow-key hash across Config.Parallelism workers on large logs — and
-// returns a pipeline that builds every signature product from them.
+// NewPipeline is NewPipelineContext with a background context.
 func NewPipeline(log *flowlog.Log, r *appgroup.Resolver, cfg Config) *Pipeline {
-	cfg = cfg.withDefaults()
-	occs := OccurrencesSharded(log, cfg.OccurrenceGap, cfg.workers())
-	return &Pipeline{log: log, r: r, cfg: cfg, occs: occs}
+	return NewPipelineContext(context.Background(), log, r, cfg)
 }
 
-// NewPipelineFromOccurrences builds a pipeline over already-extracted
-// occurrences, skipping the extraction pass entirely. The occurrences
-// must be in canonical order (as produced by Occurrences,
+// NewPipelineContext extracts the log's flow occurrences once — sharded
+// by flow-key hash across Config.Parallelism workers on large logs —
+// and returns a pipeline that builds every signature product from them.
+// The span "signature.extract" times the extraction; the counter
+// "signature.occurrences" accumulates the episode count.
+func NewPipelineContext(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	sp := obs.Span(ctx, "signature.extract")
+	occs := occurrencesSharded(ctx, log, cfg.OccurrenceGap, cfg.workers())
+	sp.End()
+	obs.From(ctx).Counter("signature.occurrences").Add(int64(len(occs)))
+	return &Pipeline{ctx: ctx, log: log, r: r, cfg: cfg, occs: occs}
+}
+
+// NewPipelineFromOccurrences is NewPipelineFromOccurrencesContext with a
+// background context.
+func NewPipelineFromOccurrences(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) *Pipeline {
+	return NewPipelineFromOccurrencesContext(context.Background(), log, r, cfg, occs)
+}
+
+// NewPipelineFromOccurrencesContext builds a pipeline over already-
+// extracted occurrences, skipping the extraction pass entirely. The
+// occurrences must be in canonical order (as produced by Occurrences,
 // OccurrencesSharded, or StreamExtractor.Flush) and cover exactly the
 // given log; Monitor uses this to reuse each window's incrementally
 // extracted episodes. The pipeline takes ownership of the slice.
-func NewPipelineFromOccurrences(log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) *Pipeline {
+func NewPipelineFromOccurrencesContext(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) *Pipeline {
 	cfg = cfg.withDefaults()
-	return &Pipeline{log: log, r: r, cfg: cfg, occs: occs}
+	obs.From(ctx).Counter("signature.occurrences").Add(int64(len(occs)))
+	return &Pipeline{ctx: ctx, log: log, r: r, cfg: cfg, occs: occs}
 }
 
 // Occurrences returns the shared flow episodes, ordered by start time.
@@ -64,7 +92,10 @@ func (p *Pipeline) Occurrences() []Occurrence { return p.occs }
 // first use (or returning the SetGroups seed).
 func (p *Pipeline) Groups() []appgroup.Group {
 	if !p.hasGroups {
+		sp := obs.Span(p.ctx, "signature.groups")
 		p.groups = appgroup.Discover(p.log, p.r, p.cfg.Special)
+		sp.End()
+		obs.From(p.ctx).Counter("signature.groups").Add(int64(len(p.groups)))
 		p.hasGroups = true
 	}
 	return p.groups
@@ -82,11 +113,13 @@ func (p *Pipeline) SetGroups(groups []appgroup.Group) {
 // App builds the per-group application signatures from the shared
 // occurrences, one worker-pool task per group.
 func (p *Pipeline) App() []AppSignature {
-	return buildAppFromGroups(p.log, p.r, p.cfg, p.occs, p.Groups())
+	defer obs.Span(p.ctx, "signature.app").End()
+	return buildAppFromGroups(p.ctx, p.log, p.r, p.cfg, p.occs, p.Groups())
 }
 
 // Infra builds the infrastructure signature from the shared occurrences.
 func (p *Pipeline) Infra() InfraSignature {
+	defer obs.Span(p.ctx, "signature.infra").End()
 	inf := buildInfraFromOccs(p.r, p.cfg, p.occs)
 	inf.LogDuration = p.log.Duration()
 	attachLinkBytes(&inf, p.log, p.occs)
@@ -99,20 +132,24 @@ func (p *Pipeline) Infra() InfraSignature {
 // partitioned across the intervals by binary search on their start
 // times; the per-interval builds then run on the worker pool.
 func (p *Pipeline) Stability(scfg StabilityConfig, full []AppSignature) (map[string]Stability, error) {
+	defer obs.Span(p.ctx, "signature.stability").End()
 	scfg = scfg.withDefaults()
 	segs, err := p.log.Segment(scfg.Intervals)
 	if err != nil {
 		return nil, fmt.Errorf("signature: segmenting log: %w", err)
 	}
+	obs.From(p.ctx).Counter("signature.intervals").Add(int64(len(segs)))
 	parts := partitionByStart(p.occs, segs)
 	intervals := make([][]AppSignature, len(segs))
 	// Parallelism lives at the interval level here; the nested per-group
 	// builds run serially so the pool stays bounded at cfg.workers().
 	serial := p.cfg
 	serial.Parallelism = 1
-	parallel.For(len(segs), p.cfg.workers(), func(i int) {
-		intervals[i] = buildAppFromOccs(segs[i], p.r, serial, parts[i])
-	})
+	if err := parallel.ForContext(p.ctx, len(segs), p.cfg.workers(), func(i int) {
+		intervals[i] = buildAppFromOccs(p.ctx, segs[i], p.r, serial, parts[i])
+	}); err != nil {
+		return nil, err
+	}
 	return Stabilities(full, intervals, scfg), nil
 }
 
@@ -141,7 +178,9 @@ func partitionByStart(occs []Occurrence, segs []*flowlog.Log) [][]Occurrence {
 // workers resolves the Parallelism knob: 0 (or negative) means one
 // worker per available CPU; requests above the CPU count are clamped
 // down, since extra goroutines beyond GOMAXPROCS only add scheduling
-// overhead. 1 forces sequential execution.
+// overhead. 1 forces sequential execution. The contract is
+// parallel.Clamp's — the same one flowdiff.Options.Parallelism
+// documents, since that single knob is where this value flows from.
 func (c Config) workers() int {
 	return parallel.Clamp(c.Parallelism)
 }

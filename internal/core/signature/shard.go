@@ -1,6 +1,7 @@
 package signature
 
 import (
+	"context"
 	"time"
 
 	"flowdiff/internal/flowlog"
@@ -53,14 +54,21 @@ func hashKey(k flowlog.FlowKey) uint32 {
 // (start time, then key — a total order), so a k-way merge reproduces
 // the serial result exactly: byte-identical for every worker count,
 // pinned by TestOccurrencesShardedMatchesSerial.
-func OccurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occurrence {
-	return occurrencesSharded(log, gap, parallel.Clamp(workers))
+//
+// The worker count comes from cfg.Parallelism — the same knob
+// flowdiff.Options.Parallelism flows into — clamped to GOMAXPROCS by
+// the parallel.Clamp contract; there is no separate workers argument.
+func OccurrencesSharded(log *flowlog.Log, cfg Config) []Occurrence {
+	cfg = cfg.withDefaults()
+	return occurrencesSharded(context.Background(), log, cfg.OccurrenceGap, cfg.workers())
 }
 
 // occurrencesSharded is the unclamped core: workers is taken as given,
 // so tests can pin shard counts above GOMAXPROCS (the sharding must be
-// byte-identical at any width, whatever the host size).
-func occurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occurrence {
+// byte-identical at any width, whatever the host size). Cancelling ctx
+// stops shard dispatch; the partial merge is discarded by the caller
+// observing ctx.Err().
+func occurrencesSharded(ctx context.Context, log *flowlog.Log, gap time.Duration, workers int) []Occurrence {
 	if gap <= 0 {
 		gap = DefaultOccurrenceGap
 	}
@@ -70,16 +78,20 @@ func occurrencesSharded(log *flowlog.Log, gap time.Duration, workers int) []Occu
 	}
 	const liveBit = 1 << 31
 	hs := make([]uint32, n)
-	parallel.For(workers, workers, func(c int) {
+	if err := parallel.ForContext(ctx, workers, workers, func(c int) {
 		lo, hi := n*c/workers, n*(c+1)/workers
 		for i := lo; i < hi; i++ {
 			if relevant(log.Events[i].Type) {
 				hs[i] = hashKey(log.Events[i].Flow) | liveBit
 			}
 		}
-	})
+	}); err != nil {
+		return nil
+	}
 	parts := make([][]Occurrence, workers)
-	parallel.For(workers, workers, func(w int) {
+	// The error is ctx.Err(); the public entry points surface it after
+	// the build, and a canceled pipeline's products are discarded.
+	_ = parallel.ForContext(ctx, workers, workers, func(w int) {
 		perKey := make(map[flowlog.FlowKey][]int32)
 		for i := 0; i < n; i++ {
 			h := hs[i]

@@ -1,6 +1,7 @@
 package signature
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -78,7 +79,7 @@ func TestOccurrencesShardedMatchesSerial(t *testing.T) {
 				t.Fatal("serial extraction found nothing; equivalence would be vacuous")
 			}
 			for _, workers := range []int{1, 2, 4, 7, runtime.GOMAXPROCS(0)} {
-				got := occurrencesSharded(log, 0, workers)
+				got := occurrencesSharded(context.Background(), log, 0, workers)
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("workers=%d: sharded extraction differs from serial (%d vs %d occurrences)", workers, len(got), len(want))
 				}
@@ -94,7 +95,7 @@ func TestOccurrencesShardedSmallLogFallback(t *testing.T) {
 	key := flowlog.FlowKey{Proto: 6, Src: addr(1), Dst: addr(2), SrcPort: 1, DstPort: 2}
 	l.Append(flowlog.Event{Time: time.Second, Type: flowlog.EventPacketIn, Switch: "sw", Flow: key})
 	want := Occurrences(l, 0)
-	got := OccurrencesSharded(l, 0, 4)
+	got := OccurrencesSharded(l, Config{Parallelism: 4})
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("small-log sharded result differs: %+v vs %+v", got, want)
 	}
@@ -108,7 +109,7 @@ func TestOccurrencesShardedClampsWorkers(t *testing.T) {
 	defer runtime.GOMAXPROCS(old)
 	log := messyLog(t, 800, false)
 	want := Occurrences(log, 0)
-	got := OccurrencesSharded(log, 0, 512)
+	got := OccurrencesSharded(log, Config{Parallelism: 512})
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("clamped sharded extraction differs from serial (%d vs %d occurrences)", len(got), len(want))
 	}

@@ -1,10 +1,12 @@
 package taskmine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"flowdiff/internal/obs"
 	"flowdiff/internal/parallel"
 )
 
@@ -79,31 +81,49 @@ type MineOptions struct {
 
 // Mine learns a task automaton from n runs of the same task.
 func Mine(name string, runs [][]Template, cfg Config) (*Automaton, error) {
-	return MineWithOptions(name, runs, cfg, MineOptions{})
+	return MineWithOptionsContext(context.Background(), name, runs, cfg, MineOptions{})
+}
+
+// MineContext is Mine with cancellation and instrumentation: mining
+// stops between phases (and between fan-out dispatches) once ctx is
+// canceled, returning ctx.Err(); phase timings land in the context's
+// obs registry as span.taskmine.* histograms.
+func MineContext(ctx context.Context, name string, runs [][]Template, cfg Config) (*Automaton, error) {
+	return MineWithOptionsContext(ctx, name, runs, cfg, MineOptions{})
 }
 
 // MineWithOptions is Mine with explicit algorithm variants.
+func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions) (*Automaton, error) {
+	return MineWithOptionsContext(context.Background(), name, runs, cfg, opt)
+}
+
+// MineWithOptionsContext is the full mining entry point.
 //
 // Every mining stage runs over interned template IDs (TemplateSet), and
 // the per-run work — support counting, candidate extension, closed
 // pruning, segmentation — fans out across Config.Parallelism workers
-// (clamped to the CPU count). Worker results merge in sorted candidate
-// order, so the mined automaton is byte-identical for every worker
-// count.
-func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions) (*Automaton, error) {
+// (clamped to the CPU count; the knob obeys the same parallel.Clamp
+// contract as flowdiff.Options.Parallelism). Worker results merge in
+// sorted candidate order, so the mined automaton is byte-identical for
+// every worker count.
+func MineWithOptionsContext(ctx context.Context, name string, runs [][]Template, cfg Config, opt MineOptions) (*Automaton, error) {
 	cfg = cfg.withDefaults()
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("taskmine: no runs for task %q", name)
 	}
 	workers := parallel.Clamp(cfg.Parallelism)
+	reg := obs.From(ctx)
+	reg.Counter("taskmine.runs").Add(int64(len(runs)))
 
 	// Intern serially, before any fan-out: IDs are assigned by first
 	// appearance, so the mapping is a pure function of the input order.
+	spIntern := reg.Span("taskmine.intern")
 	set := NewTemplateSet()
 	idRuns := make([][]int32, len(runs))
 	for i, run := range runs {
 		idRuns[i] = set.InternRun(run)
 	}
+	spIntern.End()
 
 	// (1) Common flows: templates present in every run (S(T) of §III-D).
 	common := commonIDs(idRuns, set.Len())
@@ -137,10 +157,21 @@ func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions
 
 	// (3) Frequent contiguous patterns with apriori extension and closed
 	// pruning.
-	patterns := frequentIDPatterns(filtered, cfg.MinSupport, set.Len(), workers)
+	spFrequent := reg.Span("taskmine.frequent")
+	patterns := frequentIDPatterns(ctx, filtered, cfg.MinSupport, set.Len(), workers)
+	spFrequent.End()
+	reg.Counter("taskmine.patterns").Add(int64(len(patterns)))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	states := patterns
 	if !opt.DisableClosedPruning {
-		states = closedPruneIDs(patterns, workers)
+		spPrune := reg.Span("taskmine.prune")
+		states = closedPruneIDs(ctx, patterns, workers)
+		spPrune.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Keep every length-1 pattern available as a fallback so greedy
 	// segmentation is total; pruned singles are only used when no longer
@@ -186,9 +217,14 @@ func MineWithOptions(name string, runs [][]Template, cfg Config, opt MineOptions
 	// automaton is identical at any width.
 	chunksPerRun := make([][]int, len(filtered))
 	errPerRun := make([]error, len(filtered))
-	parallel.For(len(filtered), workers, func(r int) {
+	spSegment := reg.Span("taskmine.segment")
+	if err := parallel.ForContext(ctx, len(filtered), workers, func(r int) {
 		chunksPerRun[r], errPerRun[r] = segmentIDs(stateSeqs, filtered[r], set)
-	})
+	}); err != nil {
+		return nil, err
+	}
+	spSegment.End()
+	reg.Counter("taskmine.states").Add(int64(len(finals)))
 	for r, err := range errPerRun {
 		if err != nil {
 			return nil, fmt.Errorf("taskmine: segmenting run for %q: %w", name, err)
@@ -296,7 +332,7 @@ func (c *candCounter) observe(key int64, run int32) {
 // no per-window key strings. Support counting fans runs out across
 // workers; counts merge additively and candidates are emitted in sorted
 // packed-key order, so the result is identical at any worker count.
-func frequentIDPatterns(runs [][]int32, minSup float64, numTemplates int, workers int) []idPattern {
+func frequentIDPatterns(ctx context.Context, runs [][]int32, minSup float64, numTemplates int, workers int) []idPattern {
 	n := float64(len(runs))
 	var out []idPattern
 
@@ -348,7 +384,9 @@ func frequentIDPatterns(runs [][]int32, minSup float64, numTemplates int, worker
 			workers = len(runs)
 		}
 		locals := make([]*candCounter, workers)
-		parallel.For(workers, workers, func(w int) {
+		// A canceled fan-out leaves nil locals; the loop below tolerates
+		// them and MineWithOptionsContext surfaces ctx.Err() right after.
+		_ = parallel.ForContext(ctx, workers, workers, func(w int) {
 			cc := newCandCounter()
 			lo, hi := len(runs)*w/workers, len(runs)*(w+1)/workers
 			for r := lo; r < hi; r++ {
@@ -363,6 +401,10 @@ func frequentIDPatterns(runs [][]int32, minSup float64, numTemplates int, worker
 			}
 			locals[w] = cc
 		})
+
+		if ctx.Err() != nil {
+			return out
+		}
 
 		// Deterministic merge: counts are additive, so worker order does
 		// not matter; candidates are then emitted in sorted key order.
@@ -397,8 +439,10 @@ func frequentIDPatterns(runs [][]int32, minSup float64, numTemplates int, worker
 			break
 		}
 
-		// Re-stamp the positions with the new length's pattern IDs.
-		parallel.For(len(runs), workers, func(r int) {
+		// Re-stamp the positions with the new length's pattern IDs. On
+		// cancellation the partial stamps are never read: the caller
+		// returns ctx.Err() before the next growth round matters.
+		_ = parallel.ForContext(ctx, len(runs), workers, func(r int) {
 			run, p := runs[r], pos[r]
 			for i := 0; i+length <= len(run); i++ {
 				id := int32(-1)
@@ -424,9 +468,11 @@ func frequentIDPatterns(runs [][]int32, minSup float64, numTemplates int, worker
 // closedPruneIDs removes patterns that are contiguous sub-sequences of a
 // longer pattern with the same support (§III-D: closed frequent
 // patterns). Each pattern's verdict is independent, so they fan out.
-func closedPruneIDs(patterns []idPattern, workers int) []idPattern {
+func closedPruneIDs(ctx context.Context, patterns []idPattern, workers int) []idPattern {
 	pruned := make([]bool, len(patterns))
-	parallel.For(len(patterns), workers, func(i int) {
+	// Partial verdicts after cancellation are fine: the caller checks
+	// ctx.Err() immediately and discards the result.
+	_ = parallel.ForContext(ctx, len(patterns), workers, func(i int) {
 		p := patterns[i]
 		for _, q := range patterns {
 			if len(q.seq) <= len(p.seq) {

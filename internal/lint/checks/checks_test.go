@@ -24,6 +24,18 @@ func TestWallClockScopedToVirtualTimePackages(t *testing.T) {
 	linttest.RunExpectNone(t, "testdata/src/wallclock", "flowdiff/internal/controller/clockpkg", checks.WallClock)
 }
 
+// The instrumented scope (root flowdiff, internal/parallel) bans direct
+// wall-clock reads in production code but exempts _test.go files.
+func TestWallClockInstrumentedScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock_instrumented", "flowdiff/internal/parallel", checks.WallClock)
+}
+
+// The instrumented scope matches exact package paths only: the root
+// "flowdiff" entry must not sweep flowdiff/cmd or flowdiff/examples.
+func TestWallClockInstrumentedScopeIsExact(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/wallclock_instrumented", "flowdiff/cmd/flowdiff", checks.WallClock)
+}
+
 func TestFloatCmp(t *testing.T) {
 	linttest.Run(t, "testdata/src/floatcmp", "flowdiff/internal/core/diff/cmppkg", checks.FloatCmp)
 }

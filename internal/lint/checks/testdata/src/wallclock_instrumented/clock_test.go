@@ -1,0 +1,13 @@
+// Test files in the instrumented scope are exempt: they drive real
+// concurrency (goroutine settling, cancellation timing) and may sleep
+// on the host clock. No diagnostics expected anywhere in this file.
+package clockpkg
+
+import "time"
+
+func settle() {
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowdiff/internal/stats"
+)
+
+// histKeep bounds how many raw samples a Histogram retains for quantile
+// estimation. Span recording is stage-granular (per group build, per
+// window flush, per For call), so a few hundred samples comfortably
+// cover a run; past the cap the reservoir degrades to "the most recent
+// histKeep observations", which is the window operators care about on a
+// long-lived monitor.
+const histKeep = 512
+
+// Histogram is a streaming duration histogram: atomic count/sum/min/max
+// plus a bounded ring of recent samples from which snapshot quantiles
+// (p50/p90/p99, via stats.Percentile) are computed. Observation counts
+// are deterministic for deterministic inputs; the measured durations
+// are wall-clock readings and are not.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; valid only when count > 0
+	max   atomic.Int64 // nanoseconds
+
+	mu   sync.Mutex
+	ring []time.Duration // up to histKeep most recent samples
+	next int             // ring write cursor once len(ring) == histKeep
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(1<<63 - 1))
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		m := h.min.Load()
+		if n >= m || h.min.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if n <= m || h.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	h.mu.Lock()
+	if len(h.ring) < histKeep {
+		h.ring = append(h.ring, d)
+	} else {
+		h.ring[h.next] = d
+		h.next = (h.next + 1) % histKeep
+	}
+	h.mu.Unlock()
+}
+
+// Count returns how many durations were observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of every observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Min returns the smallest observation (0 before any).
+func (h *Histogram) Min() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest observation (0 before any).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the average observation (0 before any).
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) over the retained
+// sample reservoir. Returns 0 before any observation.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	xs := make([]float64, len(h.ring))
+	for i, d := range h.ring {
+		xs[i] = float64(d)
+	}
+	h.mu.Unlock()
+	q, err := stats.Percentile(xs, p)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(q)
+}
+
+// reset is called under the registry lock by Registry.Reset.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(int64(1<<63 - 1))
+	h.max.Store(0)
+	h.mu.Lock()
+	h.ring = h.ring[:0]
+	h.next = 0
+	h.mu.Unlock()
+}

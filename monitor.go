@@ -1,12 +1,14 @@
 package flowdiff
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"flowdiff/internal/core/appgroup"
 	"flowdiff/internal/core/signature"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
 )
 
 // Monitor runs FlowDiff continuously: control events are appended as they
@@ -83,6 +85,9 @@ func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, 
 	if window <= 0 {
 		window = time.Minute
 	}
+	if baseline == nil || len(baseline.Events) == 0 {
+		return nil, fmt.Errorf("flowdiff: monitor: %w", ErrNoBaseline)
+	}
 	base, err := BuildSignatures(baseline, opts)
 	if err != nil {
 		return nil, fmt.Errorf("flowdiff: building monitor baseline: %w", err)
@@ -111,17 +116,30 @@ func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, 
 // Baseline exposes the frozen baseline signatures.
 func (m *Monitor) Baseline() *Signatures { return m.baseline }
 
-// Observe appends one control event. When the event crosses the current
-// window's grid boundary, the buffered window is diagnosed first and
-// the resulting report returned (nil otherwise); the event then opens
-// the grid cell containing it. Events must arrive in time order.
+// Observe is ObserveContext with a background context.
 func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
+	return m.ObserveContext(context.Background(), e)
+}
+
+// ObserveContext appends one control event. When the event crosses the
+// current window's grid boundary, the buffered window is diagnosed
+// first and the resulting report returned (nil otherwise); the event
+// then opens the grid cell containing it. Events must arrive in time
+// order.
+//
+// ctx governs (and its obs registry observes) only the window flush a
+// boundary-crossing event triggers: cancellation mid-flush surfaces as
+// ErrCanceled and the window's partial model is discarded, but the
+// event itself is still buffered. Per-event cost is one counter
+// increment ("monitor.events") plus the extractor append.
+func (m *Monitor) ObserveContext(ctx context.Context, e flowlog.Event) (*MonitorReport, error) {
 	if e.Time < m.buf.Start {
 		return nil, fmt.Errorf("flowdiff: event at %v precedes current window start %v", e.Time, m.buf.Start)
 	}
+	obs.From(ctx).Counter("monitor.events").Inc()
 	var rep *MonitorReport
 	if e.Time >= m.next {
-		r, err := m.flushTo(m.next)
+		r, err := m.flushTo(ctx, m.next)
 		if err != nil {
 			return nil, err
 		}
@@ -140,21 +158,30 @@ func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
 	return rep, nil
 }
 
-// Flush diagnoses the buffered partial window immediately (automatic
-// flushes happen inside Observe when a grid boundary is crossed). The
-// report covers [window start, last observed event]. Returns nil when
-// the buffer is empty.
+// Flush is FlushContext with a background context.
 func (m *Monitor) Flush() (*MonitorReport, error) {
+	return m.FlushContext(context.Background())
+}
+
+// FlushContext diagnoses the buffered partial window immediately
+// (automatic flushes happen inside Observe when a grid boundary is
+// crossed). The report covers [window start, last observed event].
+// Returns nil when the buffer is empty.
+func (m *Monitor) FlushContext(ctx context.Context) (*MonitorReport, error) {
 	if len(m.buf.Events) == 0 {
 		return nil, nil
 	}
-	return m.flushTo(m.buf.End)
+	return m.flushTo(ctx, m.buf.End)
 }
 
 // flushTo diagnoses the buffered interval as the window [buf.Start, to)
 // and resets the buffer to start at to. An empty buffer (a grid cell
 // that saw no events) produces no report.
-func (m *Monitor) flushTo(to time.Duration) (*MonitorReport, error) {
+//
+// The whole window diagnosis is timed as the span "monitor.flush";
+// diagnosed windows count into "monitor.windows" and sparse ones into
+// "monitor.abstained".
+func (m *Monitor) flushTo(ctx context.Context, to time.Duration) (*MonitorReport, error) {
 	if len(m.buf.Events) == 0 {
 		m.buf = flowlog.New(to, to)
 		return nil, nil
@@ -163,20 +190,24 @@ func (m *Monitor) flushTo(to time.Duration) (*MonitorReport, error) {
 	occs := m.ex.Flush()
 	if len(occs) < m.minOcc {
 		// Too sparse to model; abstain (see the type comment).
+		obs.From(ctx).Counter("monitor.abstained").Inc()
 		m.buf = flowlog.New(to, to)
 		return nil, nil
 	}
-	cur, err := m.signaturesFor(m.buf, occs)
+	sp := obs.Span(ctx, "monitor.flush")
+	defer sp.End()
+	cur, err := m.signaturesFor(ctx, m.buf, occs)
 	if err != nil {
 		return nil, err
 	}
-	changes := Diff(m.baseline, cur, m.th)
+	changes := DiffContext(ctx, m.baseline, cur, m.th)
 	tasks := DetectTasks(m.buf, m.automata, m.opts.Signature.OccurrenceGap)
 	rep := MonitorReport{
 		From:   m.buf.Start,
 		To:     to,
 		Report: Diagnose(changes, tasks, m.opts),
 	}
+	obs.From(ctx).Counter("monitor.windows").Inc()
 	m.reports = append(m.reports, rep)
 	m.buf = flowlog.New(to, to)
 	return &rep, nil
@@ -185,8 +216,8 @@ func (m *Monitor) flushTo(to time.Duration) (*MonitorReport, error) {
 // signaturesFor models one window from its incrementally extracted
 // occurrences, reusing the previous window's application groups when
 // the host edge set is unchanged.
-func (m *Monitor) signaturesFor(log *Log, occs []signature.Occurrence) (*Signatures, error) {
-	p := signature.NewPipelineFromOccurrences(log, m.r, m.sigCfg, occs)
+func (m *Monitor) signaturesFor(ctx context.Context, log *Log, occs []signature.Occurrence) (*Signatures, error) {
+	p := signature.NewPipelineFromOccurrencesContext(ctx, log, m.r, m.sigCfg, occs)
 	edges := appgroup.BuildEdges(log, m.r)
 	if !m.groupsValid || !appgroup.SameEdgeSet(edges, m.groupEdges) {
 		m.groups = appgroup.DiscoverFromEdges(edges, m.sigCfg.Special)
@@ -194,7 +225,7 @@ func (m *Monitor) signaturesFor(log *Log, occs []signature.Occurrence) (*Signatu
 		m.groupsValid = true
 	}
 	p.SetGroups(m.groups)
-	return signaturesFromPipeline(log, p, m.opts)
+	return signaturesFromPipeline(ctx, log, p, m.opts)
 }
 
 // Reports returns every report produced so far.

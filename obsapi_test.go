@@ -1,0 +1,255 @@
+// Tests for the context-aware public API and its observability
+// contracts: sentinel errors wrap as documented, a canceled build
+// drains its worker pool, obs counters are deterministic across worker
+// counts, and instrumentation never changes the report.
+package flowdiff_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"net/netip"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
+)
+
+// taskRuns builds three runs of a toy two-flow task for mining tests.
+func taskRuns() [][]flowdiff.FlowKey {
+	host := func(n byte) netip.Addr { return netip.AddrFrom4([4]byte{10, 9, n, 1}) }
+	mk := func(sp uint16) []flowdiff.FlowKey {
+		return []flowdiff.FlowKey{
+			{Proto: 6, Src: host(1), Dst: host(2), SrcPort: sp, DstPort: 80},
+			{Proto: 6, Src: host(2), Dst: host(3), SrcPort: sp + 1, DstPort: 3306},
+		}
+	}
+	return [][]flowdiff.FlowKey{mk(1000), mk(2000), mk(3000)}
+}
+
+// TestSentinelErrors pins every documented error path of the public
+// API: which sentinel each entry point returns and what it wraps.
+func TestSentinelErrors(t *testing.T) {
+	log := synthThreeTierLog(2_000)
+	empty := flowlog.New(0, time.Second)
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name string
+		call func() error
+		want []error
+	}{
+		{
+			"BuildSignatures nil log",
+			func() error { _, err := flowdiff.BuildSignatures(nil, flowdiff.Options{}); return err },
+			[]error{flowdiff.ErrEmptyLog},
+		},
+		{
+			"BuildSignatures empty log",
+			func() error { _, err := flowdiff.BuildSignatures(empty, flowdiff.Options{}); return err },
+			[]error{flowdiff.ErrEmptyLog},
+		},
+		{
+			"Compare nil baseline",
+			func() error {
+				_, err := flowdiff.Compare(nil, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				return err
+			},
+			[]error{flowdiff.ErrNoBaseline},
+		},
+		{
+			"Compare empty baseline",
+			func() error {
+				_, err := flowdiff.Compare(empty, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				return err
+			},
+			[]error{flowdiff.ErrNoBaseline},
+		},
+		{
+			"Compare nil current",
+			func() error {
+				_, err := flowdiff.Compare(log, nil, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				return err
+			},
+			[]error{flowdiff.ErrEmptyLog},
+		},
+		{
+			"NewMonitor nil baseline",
+			func() error {
+				_, err := flowdiff.NewMonitor(nil, time.Minute, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				return err
+			},
+			[]error{flowdiff.ErrNoBaseline},
+		},
+		{
+			"BuildSignaturesContext canceled",
+			func() error {
+				_, err := flowdiff.BuildSignaturesContext(canceledCtx, log, flowdiff.Options{})
+				return err
+			},
+			[]error{flowdiff.ErrCanceled, context.Canceled},
+		},
+		{
+			"CompareContext canceled",
+			func() error {
+				_, err := flowdiff.CompareContext(canceledCtx, log, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				return err
+			},
+			[]error{flowdiff.ErrCanceled, context.Canceled},
+		},
+		{
+			"MineTaskContext canceled",
+			func() error {
+				_, err := flowdiff.MineTaskContext(canceledCtx, "toy", taskRuns(), flowdiff.TaskConfig{})
+				return err
+			},
+			[]error{flowdiff.ErrCanceled, context.Canceled},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			for _, want := range tc.want {
+				if !errors.Is(err, want) {
+					t.Errorf("error %q does not wrap %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCanceledBuildDrainsGoroutines checks the pool-drain contract: a
+// canceled BuildSignaturesContext returns ErrCanceled and leaves no
+// worker goroutines behind.
+func TestCanceledBuildDrainsGoroutines(t *testing.T) {
+	log := synthThreeTierLog(50_000)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := flowdiff.BuildSignaturesContext(ctx, log, flowdiff.Options{Parallelism: 4}); !errors.Is(err, flowdiff.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestObsCountersDeterministicAcrossParallelism pins the determinism
+// contract stated in the obs package doc: every counter outside the
+// "parallel." namespace records a quantity that is identical for every
+// Options.Parallelism setting.
+func TestObsCountersDeterministicAcrossParallelism(t *testing.T) {
+	log := synthThreeTierLog(20_000)
+	var want map[string]int64
+	wantP := 0
+	for _, p := range []int{1, 2, 4, 7} {
+		reg := obs.New()
+		ctx := obs.WithRegistry(context.Background(), reg)
+		if _, err := flowdiff.BuildSignaturesContext(ctx, log, flowdiff.Options{Parallelism: p}); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		got := make(map[string]int64)
+		for name, v := range reg.Snapshot().Counters {
+			if strings.HasPrefix(name, "parallel.") {
+				// Dispatch counts depend on which fan-out path ran
+				// (serial fast paths bypass the pool entirely).
+				continue
+			}
+			got[name] = v
+		}
+		if len(got) == 0 {
+			t.Fatalf("parallelism %d: no deterministic counters recorded", p)
+		}
+		if want == nil {
+			want, wantP = got, p
+			continue
+		}
+		if !maps.Equal(want, got) {
+			t.Errorf("counters differ: parallelism %d -> %v, parallelism %d -> %v", wantP, want, p, got)
+		}
+	}
+}
+
+// TestReportIdenticalWithObsOnOff pins the "observability never changes
+// behavior" contract: the diagnosis report is identical whether metrics
+// are recorded into a live registry or discarded via a nil one.
+func TestReportIdenticalWithObsOnOff(t *testing.T) {
+	l1 := synthThreeTierStream(0, 2*time.Minute, 10_000)
+	l2 := synthThreeTierStream(0, 2*time.Minute, 14_000)
+	run := func(ctx context.Context) string {
+		rep, err := flowdiff.CompareContext(ctx, l1, l2, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", rep)
+	}
+	on := run(obs.WithRegistry(context.Background(), obs.New()))
+	off := run(obs.WithRegistry(context.Background(), nil))
+	if on != off {
+		t.Errorf("report differs with obs on vs off:\non:  %.400s\noff: %.400s", on, off)
+	}
+}
+
+// TestMetricsPopulatedAfterCompare checks the end-to-end wiring: one
+// Compare leaves non-zero stage timings, pool occupancy, and counters
+// in the registry traveling in ctx — what /metrics then serves.
+func TestMetricsPopulatedAfterCompare(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	l1 := synthThreeTierLog(10_000)
+	l2 := synthThreeTierLog(12_000)
+	if _, err := flowdiff.CompareContext(ctx, l1, l2, nil, flowdiff.Thresholds{}, flowdiff.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, span := range []string{
+		"span.flowdiff.compare", "span.flowdiff.build", "span.signature.extract",
+		"span.signature.app", "span.signature.infra", "span.signature.stability",
+		"span.diff.compare",
+	} {
+		if h, ok := snap.Histograms[span]; !ok || h.Count == 0 {
+			t.Errorf("span %s not recorded (snapshot %+v)", span, h)
+		}
+	}
+	if h := snap.Histograms["span.flowdiff.compare"]; h.SumNS <= 0 {
+		t.Errorf("span.flowdiff.compare has zero duration: %+v", h)
+	}
+	if g := snap.Gauges["parallel.active"]; g.Max < 1 {
+		t.Errorf("pool occupancy never observed: %+v", g)
+	}
+	for _, c := range []string{"signature.occurrences", "signature.groups", "signature.intervals"} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("counter %s is zero", c)
+		}
+	}
+}
+
+// TestWithWorkersOverride checks that Options.WithWorkers overrides
+// both the top-level knob and an explicit signature-level setting.
+func TestWithWorkersOverride(t *testing.T) {
+	opts := flowdiff.Options{Parallelism: 4}
+	opts.Signature.Parallelism = 2
+	got := opts.WithWorkers(1)
+	if got.Parallelism != 1 || got.Signature.Parallelism != 1 {
+		t.Errorf("WithWorkers(1) = {Parallelism: %d, Signature.Parallelism: %d}, want both 1",
+			got.Parallelism, got.Signature.Parallelism)
+	}
+	if opts.Parallelism != 4 || opts.Signature.Parallelism != 2 {
+		t.Errorf("WithWorkers mutated the receiver: %+v", opts)
+	}
+}

@@ -28,9 +28,15 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" \
 # clamping makes workers>GOMAXPROCS runs equivalent to serial, so a
 # BENCH_<n>.json is only comparable to another taken at the same width.
 numcpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)"
+
+# Stage-timing breakdown of one representative end-to-end compare
+# (cmd/obsbench): records where the wall-clock of a run went, so a
+# regression in a BENCH_<n>.json total can be attributed to a stage.
+obsjson="$(go run ./cmd/obsbench 2>/dev/null || echo '{}')"
+
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" \
-	-v numcpu="$numcpu" '
-BEGIN { printf "{\n  \"schema\": 1,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"num_cpu\": %s,\n", date, goversion, numcpu; nbench = 0 }
+	-v numcpu="$numcpu" -v obs="$obsjson" '
+BEGIN { printf "{\n  \"schema\": 2,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"num_cpu\": %s,\n  \"obs\": %s,\n", date, goversion, numcpu, obs; nbench = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
 	name = $1; iters = $2
