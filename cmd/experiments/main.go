@@ -7,7 +7,7 @@
 //	experiments -run fig13 -reps 90          # paper-scale repetitions
 //
 // Available experiment ids: table1, table3, fig9, fig10, fig11, fig12,
-// fig13, matrix, ablation.
+// fig13, matrix, ablation, localization.
 package main
 
 import (
@@ -29,10 +29,11 @@ func main() {
 
 func run() error {
 	var (
-		runFlag  = flag.String("run", "all", "comma-separated experiment ids (table1,table3,fig9,fig10,fig11,fig12,fig13,matrix,ablation) or 'all'")
+		runFlag  = flag.String("run", "all", "comma-separated experiment ids (table1,table3,fig9,fig10,fig11,fig12,fig13,matrix,ablation,localization) or 'all'")
 		seed     = flag.Int64("seed", 42, "base random seed")
 		reps     = flag.Int("reps", 10, "fig13 processing-time repetitions (paper: 90)")
 		training = flag.Int("training", 50, "table3 training runs per VM (paper: 50)")
+		locSeeds = flag.Int("loc-seeds", 10, "localization accuracy seeds per scenario")
 		csvDir   = flag.String("csv", "", "also export the figures' plottable series as CSV into this directory")
 	)
 	flag.Parse()
@@ -82,6 +83,7 @@ func run() error {
 			return experiments.Fig13(*seed, experiments.Fig13Config{Repetitions: *reps})
 		}},
 		{"matrix", func() (fmt.Stringer, error) { return experiments.Matrices(*seed) }},
+		{"localization", func() (fmt.Stringer, error) { return experiments.Localization(*seed, *locSeeds) }},
 		{"ablation", func() (fmt.Stringer, error) {
 			dm, err := experiments.DeploymentModes(*seed, 0)
 			if err != nil {

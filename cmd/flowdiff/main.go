@@ -160,6 +160,20 @@ func run() error {
 		}
 		fmt.Printf("  %2d changes  %s\n", c.Changes, c.Component)
 	}
+	if len(report.Suspects) > 0 {
+		fmt.Println("\nFabric suspects (evidence voting over impacted flow paths):")
+		for i, s := range report.Suspects {
+			if i >= 8 {
+				break
+			}
+			kind := "switch"
+			if s.IsLink {
+				kind = "link"
+			}
+			fmt.Printf("  %6.3f  %-6s %s  (%.3f votes from %d flows)\n",
+				s.Score, kind, s.Component, s.Votes, s.Flows)
+		}
+	}
 	return finish(serveMode, *stats, reg, stopMetrics)
 }
 

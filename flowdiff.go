@@ -55,6 +55,10 @@ type (
 	Thresholds = diff.Thresholds
 	// Report is the complete diagnosis output.
 	Report = diagnose.Report
+	// ComponentScore is one change-count ranking entry.
+	ComponentScore = diagnose.ComponentScore
+	// SuspectScore is one evidence-voting localization suspect.
+	SuspectScore = diagnose.SuspectScore
 	// TaskAutomaton is a learned task signature.
 	TaskAutomaton = taskmine.Automaton
 	// TaskDetection is one recognized task execution.
@@ -250,9 +254,16 @@ func DetectTasks(log *Log, automata []*TaskAutomaton, gap time.Duration) []TaskD
 
 // Diagnose validates the changes against the task time series and
 // produces the operator report (dependency matrix, problem classes,
-// component ranking).
+// component ranking, and — when Options.Topo is set — evidence-voting
+// suspect localization).
 func Diagnose(changes []Change, tasks []TaskDetection, opts Options) Report {
-	return diagnose.Diagnose(changes, tasks, opts.resolver(), 0)
+	return DiagnoseContext(context.Background(), changes, tasks, opts)
+}
+
+// DiagnoseContext is Diagnose with suspect-tally timings and vote counts
+// recorded into ctx's obs registry.
+func DiagnoseContext(ctx context.Context, changes []Change, tasks []TaskDetection, opts Options) Report {
+	return diagnose.DiagnoseContext(ctx, changes, tasks, opts.resolver(), opts.Topo, 0)
 }
 
 // Compare is CompareContext with a background context.
@@ -303,5 +314,5 @@ func CompareContext(ctx context.Context, baseline, current *Log, automata []*Tas
 	}
 	changes := DiffContext(ctx, base, cur, th)
 	tasks := DetectTasks(current, automata, opts.Signature.OccurrenceGap)
-	return Diagnose(changes, tasks, opts), nil
+	return DiagnoseContext(ctx, changes, tasks, opts), nil
 }

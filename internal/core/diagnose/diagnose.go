@@ -4,10 +4,13 @@
 // filtered out), building the dependency matrix between application and
 // infrastructure signature changes, classifying the remaining changes
 // into problem classes (Figure 2b / Figure 8), and ranking the involved
-// components for localization.
+// components for localization — both by raw change count
+// (RankComponents) and by 007-style evidence voting over the network
+// paths of the impacted flows (RankSuspects).
 package diagnose
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -18,6 +21,7 @@ import (
 	"flowdiff/internal/core/diff"
 	"flowdiff/internal/core/signature"
 	"flowdiff/internal/core/taskmine"
+	"flowdiff/internal/topology"
 )
 
 // ValidationWindow is how close (in time) a task detection must be to a
@@ -188,7 +192,8 @@ func Classify(unknown []diff.Change) []Scored {
 	// Structural tie-breaks.
 	if kinds[signature.KindCG] {
 		newFromForeign := false
-		removedEdges := make(map[string][]string) // node -> lost peer nodes
+		anyRemoved := false
+		removedEdges := make(map[string]map[string]bool) // node -> set of lost peer nodes
 		addedAt := make(map[string]bool)
 		for _, c := range unknown {
 			if c.Kind != signature.KindCG {
@@ -202,7 +207,19 @@ func Classify(unknown []diff.Change) []Scored {
 						newFromForeign = true
 					}
 				} else {
-					removedEdges[comp] = append(removedEdges[comp], comp)
+					anyRemoved = true
+					// Record the edge's OTHER endpoints as comp's lost
+					// peers, deduped: losing two flows to the same peer is
+					// one broken dependency, not a disappearing host.
+					for _, peer := range c.Components {
+						if peer == comp {
+							continue
+						}
+						if removedEdges[comp] == nil {
+							removedEdges[comp] = make(map[string]bool)
+						}
+						removedEdges[comp][peer] = true
+					}
 				}
 			}
 		}
@@ -211,17 +228,22 @@ func Classify(unknown []diff.Change) []Scored {
 		}
 		// Unauthorized access manifests as NEW edges; a change set whose
 		// CG deltas are all removals argues against it.
-		if len(addedAt) == 0 && len(removedEdges) > 0 {
+		if len(addedAt) == 0 && anyRemoved {
 			scores[UnauthorizedAccess] -= 0.3
 		}
-		// A node appearing in >= 2 removed edges with no additions hints
-		// at total disappearance (host failure) rather than a single
-		// broken dependency (application failure).
+		// A node that lost edges to >= 2 DISTINCT peers with no additions
+		// hints at total disappearance (host failure) rather than a
+		// single broken dependency (application failure). Accumulated as
+		// an order-independent bool so map iteration order cannot leak
+		// into the score.
+		lostManyPeers := false
 		for node, lost := range removedEdges {
 			if len(lost) >= 2 && !addedAt[node] {
-				scores[HostFailure] += 0.25
-				break
+				lostManyPeers = true
 			}
+		}
+		if lostManyPeers {
+			scores[HostFailure] += 0.25
 		}
 	}
 
@@ -300,11 +322,21 @@ type Report struct {
 	Matrix   Matrix
 	Problems []Scored
 	Ranking  []ComponentScore
+	// Suspects is the evidence-voting fabric localization (nil when no
+	// topology was supplied or no change identified an impacted flow).
+	Suspects []SuspectScore
 }
 
 // Diagnose runs validation, matrix construction, classification, and
-// ranking in one step.
-func Diagnose(changes []diff.Change, tasks []taskmine.Detection, r *appgroup.Resolver, window time.Duration) Report {
+// ranking in one step. topo enables evidence-voting suspect localization
+// and may be nil.
+func Diagnose(changes []diff.Change, tasks []taskmine.Detection, r *appgroup.Resolver, topo *topology.Topology, window time.Duration) Report {
+	return DiagnoseContext(context.Background(), changes, tasks, r, topo, window)
+}
+
+// DiagnoseContext is Diagnose with the caller's context threaded through
+// to the suspect ranker for observability.
+func DiagnoseContext(ctx context.Context, changes []diff.Change, tasks []taskmine.Detection, r *appgroup.Resolver, topo *topology.Topology, window time.Duration) Report {
 	known, unknown := Validate(changes, tasks, r, window)
 	return Report{
 		Known:    known,
@@ -312,5 +344,6 @@ func Diagnose(changes []diff.Change, tasks []taskmine.Detection, r *appgroup.Res
 		Matrix:   BuildMatrix(unknown),
 		Problems: Classify(unknown),
 		Ranking:  RankComponents(unknown),
+		Suspects: RankSuspectsContext(ctx, unknown, topo),
 	}
 }

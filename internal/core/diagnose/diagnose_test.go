@@ -168,6 +168,85 @@ func TestClassifyHostVsAppFailure(t *testing.T) {
 	}
 }
 
+// TestClassifyDistinctPeerRequirement pins the host-failure heuristic to
+// DISTINCT lost peers: losing two flows to the same peer is one broken
+// dependency (application failure), not a disappearing host. The
+// pre-fix code counted change rows instead of peers and bumped host
+// failure in both cases.
+func TestClassifyDistinctPeerRequirement(t *testing.T) {
+	// Host vs application failure share an impact pattern, so without
+	// the +0.25 host-failure bump the alphabetical tie-break puts
+	// application failure first.
+	samePeer := []diff.Change{
+		{Kind: signature.KindCG, Description: "edge S3->S8 missing", Components: []string{"S3", "S8"}},
+		{Kind: signature.KindCG, Description: "edge S8->S3 missing", Components: []string{"S8", "S3"}},
+		change(signature.KindCI, 0, "S3"),
+		change(signature.KindFS, 0, "S3"),
+	}
+	ranked := Classify(samePeer)
+	if len(ranked) == 0 {
+		t.Fatal("no classification")
+	}
+	if ranked[0].Problem == HostFailure {
+		t.Errorf("two lost edges to the SAME peer must not suggest host failure: %+v", ranked)
+	}
+
+	distinctPeers := []diff.Change{
+		{Kind: signature.KindCG, Description: "edge S2->S3 missing", Components: []string{"S2", "S3"}},
+		{Kind: signature.KindCG, Description: "edge S3->S8 missing", Components: []string{"S3", "S8"}},
+		change(signature.KindCI, 0, "S3"),
+		change(signature.KindFS, 0, "S3"),
+	}
+	ranked = Classify(distinctPeers)
+	if len(ranked) == 0 {
+		t.Fatal("no classification")
+	}
+	if ranked[0].Problem != HostFailure {
+		t.Errorf("edges lost to two DISTINCT peers must suggest host failure: %+v", ranked)
+	}
+}
+
+// TestValidateWindowBoundaries pins the inclusive boundary semantics of
+// the validation window and the components-only matching of At == 0
+// changes.
+func TestValidateWindowBoundaries(t *testing.T) {
+	const window = 5 * time.Second
+	task := taskmine.Detection{
+		Task:  "t",
+		Start: 100 * time.Second,
+		End:   200 * time.Second,
+		Hosts: []string{"S3"},
+	}
+	cases := []struct {
+		name      string
+		at        time.Duration
+		wantKnown bool
+	}{
+		{"exactly Start-window is inside (inclusive)", 95 * time.Second, true},
+		{"one ns before Start-window is outside", 95*time.Second - time.Nanosecond, false},
+		{"exactly End+window is inside (inclusive)", 205 * time.Second, true},
+		{"one ns after End+window is outside", 205*time.Second + time.Nanosecond, false},
+		{"inside the task span", 150 * time.Second, true},
+		{"At zero matches on components only", 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			changes := []diff.Change{change(signature.KindCI, tc.at, "S3")}
+			known, unknown := Validate(changes, []taskmine.Detection{task}, nil, window)
+			if got := len(known) == 1; got != tc.wantKnown {
+				t.Errorf("at %v: known=%v unknown=%v, want explained=%v",
+					tc.at, known, unknown, tc.wantKnown)
+			}
+		})
+	}
+	// At == 0 with no component overlap stays unknown even though the
+	// time filter cannot reject it.
+	changes := []diff.Change{change(signature.KindCI, 0, "S9")}
+	if known, _ := Validate(changes, []taskmine.Detection{task}, nil, window); len(known) != 0 {
+		t.Errorf("components-only match must still require overlap: %+v", known)
+	}
+}
+
 func TestClassifyEmpty(t *testing.T) {
 	if got := Classify(nil); got != nil {
 		t.Errorf("Classify(nil) = %v", got)
@@ -199,12 +278,30 @@ func TestDiagnoseEndToEnd(t *testing.T) {
 		change(signature.KindCG, 10*time.Second, "S3", "S8"),
 		change(signature.KindCI, 0, "S3"),
 	}
-	rep := Diagnose(changes, nil, r, 0)
+	topo, err := topology.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diagnose(changes, nil, r, topo, 0)
 	if len(rep.Unknown) != 2 || len(rep.Known) != 0 {
 		t.Errorf("report split wrong: %+v", rep)
 	}
 	if len(rep.Problems) == 0 || len(rep.Ranking) == 0 {
 		t.Error("report missing classification or ranking")
+	}
+	// The CG change names hosts S3 (behind sw2) and S8 (behind sw3), so
+	// the suspect tally must cover their path through the fabric.
+	if len(rep.Suspects) == 0 {
+		t.Fatal("report missing suspects")
+	}
+	got := make(map[string]bool, len(rep.Suspects))
+	for _, s := range rep.Suspects {
+		got[s.Component] = true
+	}
+	for _, want := range []string{"sw1", "sw2", "sw3", topology.LinkID("S3", "sw2"), topology.LinkID("S8", "sw3")} {
+		if !got[want] {
+			t.Errorf("suspects missing %s: %+v", want, rep.Suspects)
+		}
 	}
 }
 

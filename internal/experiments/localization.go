@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flowdiff"
+	"flowdiff/internal/faults"
+)
+
+// LocalizationCell aggregates one scenario's localization accuracy
+// across seeds, for the evidence-voting ranker and the change-count
+// baseline.
+type LocalizationCell struct {
+	Scenario string
+	Truth    string
+	Seeds    int
+	// Top1/Top3 are the voting ranker's hit fractions: the run counts
+	// where the ground-truth component was ranked first / in the top 3
+	// of Report.Suspects.
+	Top1, Top3 float64
+	// BaseTop1/BaseTop3 credit the RankComponents baseline generously:
+	// a hit is the truth itself — or, for a link truth, either endpoint
+	// — appearing first / in the top 3 of Report.Ranking.
+	BaseTop1, BaseTop3 float64
+}
+
+// LocalizationResult is the voting-vs-baseline accuracy table.
+type LocalizationResult struct {
+	Cells []LocalizationCell
+}
+
+// localizationRunDur keeps the per-seed simulations short; 90 s per
+// interval yields hundreds of requests per chain, far past the differ's
+// minimum-flow floors.
+const localizationRunDur = 90 * time.Second
+
+// Localization measures top-1/top-3 localization accuracy of the
+// evidence-voting suspect ranker against the change-count baseline on
+// the three fabric-fault scenarios, across the given number of seeds.
+func Localization(seed int64, seeds int) (*LocalizationResult, error) {
+	if seeds <= 0 {
+		seeds = 10
+	}
+	res := &LocalizationResult{}
+	for _, sc := range faults.LocalizationScenarios() {
+		cell := LocalizationCell{Scenario: sc.Name, Truth: sc.Truth, Seeds: seeds}
+		for k := 0; k < seeds; k++ {
+			r, err := flowdiff.RunScenario(flowdiff.Scenario{
+				Seed:        seed + int64(k)*31,
+				Specs:       sc.Specs,
+				Incast:      sc.Incast,
+				Faults:      sc.Faults,
+				BaselineDur: localizationRunDur,
+				FaultDur:    localizationRunDur,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: localization %s seed %d: %w", sc.Name, k, err)
+			}
+			opts := r.Options()
+			base, err := flowdiff.BuildSignatures(r.L1, opts)
+			if err != nil {
+				return nil, err
+			}
+			cur, err := flowdiff.BuildSignatures(r.L2, opts)
+			if err != nil {
+				return nil, err
+			}
+			changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
+			rep := flowdiff.Diagnose(changes, nil, opts)
+
+			if rank := suspectRank(rep.Suspects, sc.Truth); rank == 0 {
+				cell.Top1++
+				cell.Top3++
+			} else if rank > 0 && rank < 3 {
+				cell.Top3++
+			}
+			if rank := baselineRank(rep.Ranking, sc.Truth); rank == 0 {
+				cell.BaseTop1++
+				cell.BaseTop3++
+			} else if rank > 0 && rank < 3 {
+				cell.BaseTop3++
+			}
+		}
+		n := float64(seeds)
+		cell.Top1 /= n
+		cell.Top3 /= n
+		cell.BaseTop1 /= n
+		cell.BaseTop3 /= n
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// suspectRank returns truth's position in the suspect ranking (-1 when
+// absent).
+func suspectRank(suspects []flowdiff.SuspectScore, truth string) int {
+	for i, s := range suspects {
+		if s.Component == truth {
+			return i
+		}
+	}
+	return -1
+}
+
+// linkEndpoints splits a topology.LinkID-shaped component id into its
+// endpoints; ok is false for node ids.
+func linkEndpoints(id string) (a, b string, ok bool) {
+	rest, found := strings.CutPrefix(id, "link:")
+	if !found {
+		return "", "", false
+	}
+	a, b, found = strings.Cut(rest, "<->")
+	return a, b, found
+}
+
+// baselineRank returns the first position in the count-based component
+// ranking naming the truth or (for link truths) one of its endpoints;
+// -1 when absent.
+func baselineRank(ranking []flowdiff.ComponentScore, truth string) int {
+	a, b, isLink := linkEndpoints(truth)
+	for i, c := range ranking {
+		if c.Component == truth {
+			return i
+		}
+		if isLink && (c.Component == a || c.Component == b) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the accuracy table.
+func (r *LocalizationResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Suspect localization accuracy (voting vs change-count baseline)\n")
+	fmt.Fprintf(&sb, "%-22s %-16s %5s  %6s %6s  %6s %6s\n",
+		"scenario", "truth", "seeds", "top1", "top3", "base1", "base3")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-22s %-16s %5d  %5.0f%% %5.0f%%  %5.0f%% %5.0f%%\n",
+			c.Scenario, c.Truth, c.Seeds,
+			100*c.Top1, 100*c.Top3, 100*c.BaseTop1, 100*c.BaseTop3)
+	}
+	return sb.String()
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLocalizationAccuracy pins the suspect ranker's localization
+// floors (the ISSUE/CI acceptance bar): top-1 >= 80% and top-3 >= 95%
+// on every scenario across 10 seeds, and the voting ranker strictly
+// beating the change-count baseline on the equal-cost-link-drop
+// scenario, where the baseline's host-level components cannot name a
+// core link at all.
+func TestLocalizationAccuracy(t *testing.T) {
+	res, err := Localization(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("want 3 scenarios, got %+v", res.Cells)
+	}
+	for _, c := range res.Cells {
+		if c.Top1 < 0.8 {
+			t.Errorf("%s: top-1 = %.0f%%, floor is 80%%", c.Scenario, 100*c.Top1)
+		}
+		if c.Top3 < 0.95 {
+			t.Errorf("%s: top-3 = %.0f%%, floor is 95%%", c.Scenario, 100*c.Top3)
+		}
+	}
+	ecl := res.Cells[0]
+	if ecl.Scenario != "equal-cost-link-drop" {
+		t.Fatalf("scenario order changed: %+v", res.Cells)
+	}
+	if ecl.Top1 <= ecl.BaseTop1 {
+		t.Errorf("voting (%.0f%%) must strictly beat the count baseline (%.0f%%) on %s",
+			100*ecl.Top1, 100*ecl.BaseTop1, ecl.Scenario)
+	}
+	out := res.String()
+	for _, want := range []string{"equal-cost-link-drop", "agg-switch-drop", "incast-collapse", "link:sw1<->sw4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -264,8 +264,15 @@ func (f SwitchFailure) Apply(n *simnet.Network, _ []*workload.App) error {
 	// Neighboring switches detect the dead links and report PORT_STATUS,
 	// as real OpenFlow switches do.
 	for _, l := range n.Topo.LinksAt(f.Switch) {
-		peer, _ := l.Other(f.Switch)
-		n.ReportPortStatus(peer, l.PortAt(peer), 2 /* OFPPR_MODIFY: link down */)
+		peer, _, err := l.Other(f.Switch)
+		if err != nil {
+			return err
+		}
+		port, err := l.PortAt(peer)
+		if err != nil {
+			return err
+		}
+		n.ReportPortStatus(peer, port, 2 /* OFPPR_MODIFY: link down */)
 	}
 	n.InvalidateRoutes()
 	return nil

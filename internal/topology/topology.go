@@ -66,20 +66,42 @@ type Link struct {
 }
 
 // Other returns the far end of the link as seen from id, and the local
-// egress port used to reach it.
-func (l *Link) Other(id NodeID) (NodeID, uint16) {
-	if l.A == id {
-		return l.B, l.APort
+// egress port used to reach it. It errors when id is not an endpoint of
+// the link (an earlier version silently answered as if id were the A
+// side, which turned caller bugs into wrong ports instead of failures).
+func (l *Link) Other(id NodeID) (NodeID, uint16, error) {
+	switch id {
+	case l.A:
+		return l.B, l.APort, nil
+	case l.B:
+		return l.A, l.BPort, nil
 	}
-	return l.A, l.BPort
+	return "", 0, fmt.Errorf("topology: node %q is not an endpoint of link %s-%s", id, l.A, l.B)
 }
 
-// PortAt returns the port number the link occupies on node id.
-func (l *Link) PortAt(id NodeID) uint16 {
-	if l.A == id {
-		return l.APort
+// PortAt returns the port number the link occupies on node id, erroring
+// when id is not an endpoint of the link.
+func (l *Link) PortAt(id NodeID) (uint16, error) {
+	switch id {
+	case l.A:
+		return l.APort, nil
+	case l.B:
+		return l.BPort, nil
 	}
-	return l.BPort
+	return 0, fmt.Errorf("topology: node %q is not an endpoint of link %s-%s", id, l.A, l.B)
+}
+
+// ID returns the link's canonical component id (see LinkID).
+func (l *Link) ID() string { return LinkID(l.A, l.B) }
+
+// LinkID names the link between a and b as a diagnosable component,
+// independent of endpoint order: "link:<min><-><max>". Suspect rankings
+// and fault ground truths use this id.
+func LinkID(a, b NodeID) string {
+	if b < a {
+		a, b = b, a
+	}
+	return "link:" + string(a) + "<->" + string(b)
 }
 
 // Topology is a mutable network graph. It is not safe for concurrent
@@ -145,6 +167,9 @@ func (t *Topology) Connect(a, b NodeID, latency time.Duration) (*Link, error) {
 	nb, ok := t.nodes[b]
 	if !ok {
 		return nil, fmt.Errorf("topology: unknown node %q", b)
+	}
+	if a == b {
+		return nil, fmt.Errorf("topology: self-link on %q", a)
 	}
 	if na.Kind == KindHost && nb.Kind == KindHost {
 		return nil, fmt.Errorf("topology: cannot link two hosts (%q-%q)", a, b)
@@ -223,8 +248,8 @@ func (t *Topology) LinksAt(id NodeID) []*Link { return t.adj[id] }
 // LinkBetween returns the first up link directly connecting a and b.
 func (t *Topology) LinkBetween(a, b NodeID) (*Link, bool) {
 	for _, l := range t.adj[a] {
-		other, _ := l.Other(a)
-		if other == b && !l.Down {
+		other, _, err := l.Other(a)
+		if err == nil && other == b && !l.Down {
 			return l, true
 		}
 	}
@@ -271,15 +296,18 @@ func (t *Topology) Path(src, dst NodeID) ([]Hop, error) {
 		for _, cur := range frontier {
 			links := append([]*Link(nil), t.adj[cur]...)
 			sort.Slice(links, func(i, j int) bool {
-				oi, _ := links[i].Other(cur)
-				oj, _ := links[j].Other(cur)
+				oi, _, _ := links[i].Other(cur)
+				oj, _, _ := links[j].Other(cur)
 				return oi < oj
 			})
 			for _, l := range links {
 				if l.Down {
 					continue
 				}
-				nb, _ := l.Other(cur)
+				nb, _, err := l.Other(cur)
+				if err != nil {
+					continue
+				}
 				n := t.nodes[nb]
 				if n.Down {
 					continue
@@ -321,13 +349,38 @@ func (t *Topology) Path(src, dst NodeID) ([]Hop, error) {
 	for i, id := range seq {
 		hops[i].Node = id
 		if i > 0 {
-			hops[i].InPort = rev[i-1].link.PortAt(id)
+			hops[i].InPort, _ = rev[i-1].link.PortAt(id)
 		}
 		if i < len(rev) {
-			hops[i].OutPort = rev[i].link.PortAt(id)
+			hops[i].OutPort, _ = rev[i].link.PortAt(id)
 		}
 	}
 	return hops, nil
+}
+
+// PathElement is one votable component of a routed path: a switch node or
+// a link. ID is the node id for switches and LinkID(a, b) for links.
+type PathElement struct {
+	ID     string
+	IsLink bool
+}
+
+// PathElements expands a path produced by Path into the ordered list of
+// components a flow on that path depends on: every link between
+// consecutive hops and every intermediate switch. Endpoint hosts are
+// excluded — a host problem is already named directly by the change's
+// components, whereas the fabric in between is what voting localizes.
+func (t *Topology) PathElements(hops []Hop) []PathElement {
+	var out []PathElement
+	for i, h := range hops {
+		if i > 0 {
+			out = append(out, PathElement{ID: LinkID(hops[i-1].Node, h.Node), IsLink: true})
+		}
+		if n, ok := t.nodes[h.Node]; ok && n.Kind == KindSwitch {
+			out = append(out, PathElement{ID: string(h.Node)})
+		}
+	}
+	return out
 }
 
 // PathLatency sums the link latencies along a path produced by Path.

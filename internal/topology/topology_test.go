@@ -282,3 +282,100 @@ func TestPathLatency(t *testing.T) {
 		t.Errorf("PathLatency = %v, want 4ms", got)
 	}
 }
+
+func TestLinkOtherAndPortAtValidate(t *testing.T) {
+	topo := buildLine(t)
+	l, ok := topo.LinkBetween("sw1", "sw2")
+	if !ok {
+		t.Fatal("missing sw1-sw2 link")
+	}
+	peer, port, err := l.Other("sw1")
+	if err != nil || peer != "sw2" || port != l.APort {
+		t.Errorf("Other(sw1) = %v, %d, %v", peer, port, err)
+	}
+	peer, port, err = l.Other("sw2")
+	if err != nil || peer != "sw1" || port != l.BPort {
+		t.Errorf("Other(sw2) = %v, %d, %v", peer, port, err)
+	}
+	// A non-endpoint must error instead of silently answering as A.
+	if _, _, err := l.Other("sw3"); err == nil {
+		t.Error("Other on non-endpoint must error")
+	}
+	if _, err := l.PortAt("sw3"); err == nil {
+		t.Error("PortAt on non-endpoint must error")
+	}
+	if p, err := l.PortAt("sw1"); err != nil || p != l.APort {
+		t.Errorf("PortAt(sw1) = %d, %v", p, err)
+	}
+}
+
+func TestConnectRejectsSelfLink(t *testing.T) {
+	topo := buildLine(t)
+	before := topo.nextPort["sw1"]
+	if _, err := topo.Connect("sw1", "sw1", time.Millisecond); err == nil {
+		t.Fatal("self-link must be rejected")
+	}
+	if topo.nextPort["sw1"] != before {
+		t.Errorf("rejected self-link mutated port assignment: %d -> %d", before, topo.nextPort["sw1"])
+	}
+}
+
+func TestLinkID(t *testing.T) {
+	if LinkID("sw2", "sw1") != LinkID("sw1", "sw2") {
+		t.Error("LinkID must be order-independent")
+	}
+	if got, want := LinkID("sw1", "sw2"), "link:sw1<->sw2"; got != want {
+		t.Errorf("LinkID = %q, want %q", got, want)
+	}
+	topo := buildLine(t)
+	l, _ := topo.LinkBetween("sw2", "sw1")
+	if l.ID() != LinkID("sw1", "sw2") {
+		t.Errorf("Link.ID = %q", l.ID())
+	}
+}
+
+func TestPathElements(t *testing.T) {
+	topo := buildLine(t)
+	hops, err := topo.Path("h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := topo.PathElements(hops)
+	want := []PathElement{
+		{ID: LinkID("h1", "sw1"), IsLink: true},
+		{ID: "sw1"},
+		{ID: LinkID("sw1", "sw2"), IsLink: true},
+		{ID: "sw2"},
+		{ID: LinkID("sw2", "sw3"), IsLink: true},
+		{ID: "sw3"},
+		{ID: LinkID("sw3", "h2"), IsLink: true},
+	}
+	if len(elems) != len(want) {
+		t.Fatalf("elements = %+v, want %+v", elems, want)
+	}
+	for i := range want {
+		if elems[i] != want[i] {
+			t.Errorf("element %d = %+v, want %+v", i, elems[i], want[i])
+		}
+	}
+	// Hosts never appear as votable components; legacy switches do (a
+	// legacy switch can drop packets even though it emits no control
+	// traffic).
+	hops, err = topo.Path("h1", "h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range topo.PathElements(hops) {
+		seen[e.ID] = true
+	}
+	if seen["h1"] || seen["h3"] {
+		t.Error("hosts must not be votable path elements")
+	}
+	if !seen["leg1"] {
+		t.Error("legacy switch should be a votable path element")
+	}
+	if len(topo.PathElements(nil)) != 0 {
+		t.Error("empty path has no elements")
+	}
+}

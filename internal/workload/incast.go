@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/simnet"
+	"flowdiff/internal/topology"
+)
+
+// PortIncast is the default aggregator port of an incast application.
+const PortIncast = 9090
+
+// IncastSpec describes a many-to-one synchronized burst workload: every
+// Period, all senders simultaneously open a flow toward the single
+// aggregator (a partition/aggregate barrier, the pattern behind incast
+// collapse — see "Distributed Incast Detection" in PAPERS.md). The
+// synchronization is the point: the aggregator's access link carries
+// every burst at once, so a loss fault there inflates all sender flows
+// together.
+type IncastSpec struct {
+	Name       string
+	Senders    []topology.NodeID
+	Aggregator topology.NodeID
+	// Port is the aggregator's service port (default PortIncast).
+	Port uint16
+	// Period separates consecutive synchronized bursts (default 500 ms).
+	Period time.Duration
+	// FlowBytes is the response volume each sender ships per burst
+	// (default 2048, matching the chain workload's request size).
+	FlowBytes uint64
+	// Jitter desynchronizes senders by a uniform random offset per
+	// burst. Zero keeps bursts fully synchronized.
+	Jitter time.Duration
+}
+
+// IncastApp drives one IncastSpec.
+type IncastApp struct {
+	spec IncastSpec
+	net  *simnet.Network
+	rng  *rand.Rand
+
+	ports  []uint16
+	stopAt time.Duration
+	flows  int
+}
+
+// AttachIncast wires an incast application onto the network.
+func AttachIncast(n *simnet.Network, spec IncastSpec, seed int64) (*IncastApp, error) {
+	if len(spec.Senders) < 2 {
+		return nil, fmt.Errorf("workload: incast app %q needs at least 2 senders", spec.Name)
+	}
+	if _, ok := n.Topo.Node(spec.Aggregator); !ok {
+		return nil, fmt.Errorf("workload: incast app %q: unknown aggregator %q", spec.Name, spec.Aggregator)
+	}
+	for _, s := range spec.Senders {
+		if _, ok := n.Topo.Node(s); !ok {
+			return nil, fmt.Errorf("workload: incast app %q: unknown sender %q", spec.Name, s)
+		}
+		if s == spec.Aggregator {
+			return nil, fmt.Errorf("workload: incast app %q: aggregator %q cannot be a sender", spec.Name, s)
+		}
+	}
+	if spec.Port == 0 {
+		spec.Port = PortIncast
+	}
+	if spec.Period <= 0 {
+		spec.Period = 500 * time.Millisecond
+	}
+	if spec.FlowBytes == 0 {
+		spec.FlowBytes = DefaultRequestBytes
+	}
+	a := &IncastApp{spec: spec, net: n, rng: rand.New(rand.NewSource(seed))}
+	a.ports = make([]uint16, len(spec.Senders))
+	for i := range a.ports {
+		a.ports[i] = 30000
+	}
+	return a, nil
+}
+
+// Flows returns how many flows the app has started so far.
+func (a *IncastApp) Flows() int { return a.flows }
+
+// Run schedules synchronized bursts every Period over [from, until).
+func (a *IncastApp) Run(from, until time.Duration) {
+	a.stopAt = until
+	a.burstAt(from)
+}
+
+func (a *IncastApp) burstAt(at time.Duration) {
+	if at >= a.stopAt {
+		return
+	}
+	a.net.Eng.Schedule(at, func() {
+		a.burst()
+		a.burstAt(a.net.Eng.Now() + a.spec.Period)
+	})
+}
+
+// burst opens one flow from every sender toward the aggregator.
+func (a *IncastApp) burst() {
+	agg, ok := a.net.Topo.Node(a.spec.Aggregator)
+	if !ok {
+		return
+	}
+	now := a.net.Eng.Now()
+	for i, sid := range a.spec.Senders {
+		src, ok := a.net.Topo.Node(sid)
+		if !ok {
+			continue
+		}
+		a.ports[i]++
+		key := flowlog.FlowKey{
+			Proto:   6,
+			Src:     src.Addr,
+			Dst:     agg.Addr,
+			SrcPort: a.ports[i],
+			DstPort: a.spec.Port,
+		}
+		start := now
+		if a.spec.Jitter > 0 {
+			start += time.Duration(a.rng.Int63n(int64(a.spec.Jitter)))
+		}
+		a.flows++
+		a.net.StartFlow(start, simnet.Flow{Key: key, Bytes: a.spec.FlowBytes})
+	}
+}

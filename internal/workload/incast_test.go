@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"flowdiff/internal/topology"
+)
+
+func TestIncastSynchronizedBursts(t *testing.T) {
+	n := labNet(t, 7)
+	spec := IncastSpec{
+		Name:       "shuffle",
+		Senders:    []topology.NodeID{"S1", "S6", "S11", "S16"},
+		Aggregator: "S12",
+		Period:     500 * time.Millisecond,
+	}
+	app, err := AttachIncast(n, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(0, 10*time.Second)
+	n.Eng.Run(12 * time.Second)
+
+	// 20 bursts x 4 senders.
+	if got, want := app.Flows(), 20*len(spec.Senders); got != want {
+		t.Errorf("flows = %d, want %d", got, want)
+	}
+	// Every sender->aggregator edge appears; nothing else does.
+	edges := edgeCount(n.Log(), n.Topo)
+	for _, s := range spec.Senders {
+		e := [2]topology.NodeID{s, "S12"}
+		if edges[e] == 0 {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	for e := range edges {
+		if e[1] != "S12" {
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+	// Bursts are synchronized: group the PacketIns of the senders'
+	// first flows by time; all senders must fire within the same burst
+	// instant (no jitter configured).
+	perTime := make(map[time.Duration]int)
+	for key, ev := range n.Log().FirstPacketIns() {
+		if key.DstPort == PortIncast {
+			perTime[ev.Time]++
+		}
+	}
+	for at, cnt := range perTime {
+		if cnt != len(spec.Senders) {
+			t.Errorf("burst at %v has %d flows, want %d (unsynchronized)", at, cnt, len(spec.Senders))
+		}
+	}
+}
+
+func TestAttachIncastValidates(t *testing.T) {
+	n := labNet(t, 9)
+	if _, err := AttachIncast(n, IncastSpec{Name: "x", Senders: []topology.NodeID{"S1"}, Aggregator: "S2"}, 1); err == nil {
+		t.Error("single sender must be rejected")
+	}
+	if _, err := AttachIncast(n, IncastSpec{Name: "x", Senders: []topology.NodeID{"S1", "S2"}, Aggregator: "nope"}, 1); err == nil {
+		t.Error("unknown aggregator must be rejected")
+	}
+	if _, err := AttachIncast(n, IncastSpec{Name: "x", Senders: []topology.NodeID{"S1", "nope"}, Aggregator: "S2"}, 1); err == nil {
+		t.Error("unknown sender must be rejected")
+	}
+	if _, err := AttachIncast(n, IncastSpec{Name: "x", Senders: []topology.NodeID{"S1", "S2"}, Aggregator: "S2"}, 1); err == nil {
+		t.Error("aggregator as sender must be rejected")
+	}
+}

@@ -59,6 +59,10 @@ type Tier struct {
 	RouteNext map[topology.NodeID]topology.NodeID
 }
 
+// DefaultRequestBytes is the flow size used for requests when a spec
+// does not override it.
+const DefaultRequestBytes = 2048
+
 // Spec describes a multi-tier application group.
 type Spec struct {
 	Name string
@@ -125,7 +129,7 @@ func Attach(n *simnet.Network, spec Spec, seed int64) (*App, error) {
 		return nil, fmt.Errorf("workload: app %q needs a positive interarrival", spec.Name)
 	}
 	if spec.RequestBytes == 0 {
-		spec.RequestBytes = 2048
+		spec.RequestBytes = DefaultRequestBytes
 	}
 	if spec.ResponseBytes == 0 {
 		spec.ResponseBytes = 8192

@@ -67,12 +67,22 @@ type Monitor struct {
 	// diagnosed; sparser windows abstain.
 	minOcc int
 
+	// pending holds occurrences a canceled flush already consumed from
+	// the extractor; the retried flush models them with its own so
+	// cancellation never loses a window's episodes.
+	pending []signature.Occurrence
+
 	reports []MonitorReport
 }
 
 // MonitorReport is one window's diagnosis.
 type MonitorReport struct {
-	// Window is the interval [From, To) the report covers.
+	// From and To delimit the interval the report covers. Automatic
+	// (grid-boundary) flushes cover the half-open [From, To) with To on
+	// the window grid; the final manual Flush instead covers the closed
+	// [From, To] with To equal to the last observed event's time — the
+	// tail event is included rather than stranded in a window that
+	// would never flush.
 	From, To time.Duration
 	Report   Report
 }
@@ -129,33 +139,40 @@ func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
 //
 // ctx governs (and its obs registry observes) only the window flush a
 // boundary-crossing event triggers: cancellation mid-flush surfaces as
-// ErrCanceled and the window's partial model is discarded, but the
-// event itself is still buffered. Per-event cost is one counter
-// increment ("monitor.events") plus the extractor append.
+// ErrCanceled, the window's partial model is discarded, and the event
+// itself is still buffered. Cancellation is non-destructive — the
+// interrupted window (boundary event included) stays buffered, the
+// grid does not advance, and the next boundary crossing retries the
+// flush; a retried window therefore keeps its grid To but may model
+// trailing events at or past it (the following window's cell start is
+// computed from its own first event, so windows never overlap).
+// Per-event cost is one counter increment ("monitor.events") plus the
+// extractor append.
 func (m *Monitor) ObserveContext(ctx context.Context, e flowlog.Event) (*MonitorReport, error) {
 	if e.Time < m.buf.Start {
 		return nil, fmt.Errorf("flowdiff: event at %v precedes current window start %v", e.Time, m.buf.Start)
 	}
 	obs.From(ctx).Counter("monitor.events").Inc()
 	var rep *MonitorReport
+	var flushErr error
 	if e.Time >= m.next {
-		r, err := m.flushTo(ctx, m.next)
-		if err != nil {
-			return nil, err
+		rep, flushErr = m.flushTo(ctx, m.next)
+		if flushErr == nil {
+			// Jump to the grid cell containing e; cells skipped during a
+			// quiet gap produce no windows.
+			start := m.origin + (e.Time-m.origin)/m.window*m.window
+			m.next = start + m.window
+			m.buf = flowlog.New(start, start)
 		}
-		rep = r
-		// Jump to the grid cell containing e; cells skipped during a
-		// quiet gap produce no windows.
-		start := m.origin + (e.Time-m.origin)/m.window*m.window
-		m.next = start + m.window
-		m.buf = flowlog.New(start, start)
 	}
+	// The event is buffered whether or not the flush succeeded; a
+	// canceled flush must not drop it.
 	m.buf.Append(e)
 	if e.Time > m.buf.End {
 		m.buf.End = e.Time
 	}
 	m.ex.Append(e)
-	return rep, nil
+	return rep, flushErr
 }
 
 // Flush is FlushContext with a background context.
@@ -186,8 +203,19 @@ func (m *Monitor) flushTo(ctx context.Context, to time.Duration) (*MonitorReport
 		m.buf = flowlog.New(to, to)
 		return nil, nil
 	}
+	// An already-canceled context must leave the monitor untouched:
+	// bail out before the destructive extractor flush consumes the
+	// window's closed episodes.
+	if cerr := canceled(ctx); cerr != nil {
+		return nil, fmt.Errorf("flowdiff: monitor flush: %w", cerr)
+	}
+	prevEnd := m.buf.End
 	m.buf.End = to
 	occs := m.ex.Flush()
+	if len(m.pending) > 0 {
+		occs = append(m.pending, occs...)
+		m.pending = nil
+	}
 	if len(occs) < m.minOcc {
 		// Too sparse to model; abstain (see the type comment).
 		obs.From(ctx).Counter("monitor.abstained").Inc()
@@ -198,6 +226,11 @@ func (m *Monitor) flushTo(ctx context.Context, to time.Duration) (*MonitorReport
 	defer sp.End()
 	cur, err := m.signaturesFor(ctx, m.buf, occs)
 	if err != nil {
+		// Mid-build cancellation: the extractor's episodes were already
+		// consumed, so stash them for the retried flush and undo the
+		// boundary mutation.
+		m.pending = occs
+		m.buf.End = prevEnd
 		return nil, err
 	}
 	changes := DiffContext(ctx, m.baseline, cur, m.th)
@@ -205,7 +238,7 @@ func (m *Monitor) flushTo(ctx context.Context, to time.Duration) (*MonitorReport
 	rep := MonitorReport{
 		From:   m.buf.Start,
 		To:     to,
-		Report: Diagnose(changes, tasks, m.opts),
+		Report: DiagnoseContext(ctx, changes, tasks, m.opts),
 	}
 	obs.From(ctx).Counter("monitor.windows").Inc()
 	m.reports = append(m.reports, rep)

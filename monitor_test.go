@@ -1,6 +1,8 @@
 package flowdiff
 
 import (
+	"context"
+	"errors"
 	"net/netip"
 	"reflect"
 	"runtime"
@@ -286,5 +288,84 @@ func TestMonitorRejectsOutOfOrderEvents(t *testing.T) {
 	stale := res.L1.Events[0]
 	if _, err := m.Observe(stale); err == nil {
 		t.Error("want error for event preceding the window")
+	}
+}
+
+// TestMonitorCanceledFlushIsNonDestructive is the regression test for
+// the ObserveContext cancellation contract: a canceled boundary flush
+// must neither drop the boundary-crossing event nor consume the
+// window's extractor episodes. The pre-fix code returned before
+// buffering the event and after m.ex.Flush() had already destroyed the
+// window's occurrences, so the retried flush abstained on an empty
+// extractor and the window was lost forever.
+func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
+	window := time.Minute
+	baseline := flowlog.New(0, 2*time.Minute)
+	baseline.Events = monitorChainEvents(0, 2*time.Minute, 200*time.Millisecond)
+	opts := Options{}
+	m, err := NewMonitor(baseline, window, nil, Thresholds{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := baseline.End
+	winEvents := monitorChainEvents(origin, origin+window, 100*time.Millisecond)
+	for _, e := range winEvents {
+		if _, err := m.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The boundary-crossing event arrives under a canceled context.
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	host := func(last byte) netip.Addr { return netip.AddrFrom4([4]byte{10, 7, 0, last}) }
+	boundary := flowlog.Event{
+		Time: origin + window + time.Millisecond, Type: flowlog.EventPacketIn, Switch: "sw1",
+		Flow: flowlog.FlowKey{Proto: 6, Src: host(8), Dst: host(9), SrcPort: 2000, DstPort: 80},
+	}
+	rep, err := m.ObserveContext(canceledCtx, boundary)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled flush: err = %v, want ErrCanceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("canceled flush returned a report: %+v", rep)
+	}
+	if len(m.Reports()) != 0 {
+		t.Fatalf("canceled flush recorded reports: %+v", m.Reports())
+	}
+
+	// The next boundary crossing (live context) retries the flush and
+	// must model the full window — the canceled boundary event included.
+	later := flowlog.Event{
+		Time: origin + window + 2*time.Millisecond, Type: flowlog.EventPacketIn, Switch: "sw1",
+		Flow: flowlog.FlowKey{Proto: 6, Src: host(8), Dst: host(9), SrcPort: 2001, DstPort: 80},
+	}
+	rep, err = m.ObserveContext(context.Background(), later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("retried flush produced no report (window lost)")
+	}
+	if rep.From != origin || rep.To != origin+window {
+		t.Fatalf("retried window = [%v,%v), want [%v,%v)", rep.From, rep.To, origin, origin+window)
+	}
+
+	// The retried report must equal a batch rebuild of the same window
+	// (its regular events plus the deferred boundary event).
+	base, err := BuildSignatures(baseline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := flowlog.New(origin, origin+window)
+	wl.Events = append(append([]flowlog.Event(nil), winEvents...), boundary)
+	cur, err := BuildSignatures(wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := Diff(base, cur, Thresholds{})
+	want := Diagnose(changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
+	if !reflect.DeepEqual(rep.Report, want) {
+		t.Error("retried report differs from batch rebuild of the full window")
 	}
 }

@@ -104,3 +104,43 @@ func TestParallelModelingDeterminism(t *testing.T) {
 		t.Errorf("concurrent Compare report differs from sequential:\n got: %+v\nwant: %+v", parReport, seqReport)
 	}
 }
+
+// TestSuspectRankingDeterministicAcrossParallelism pins the acceptance
+// bar for the evidence-voting ranker: the full suspect ranking —
+// order, votes, and coverage-adjusted scores — must be identical for
+// every Parallelism setting of the one-call Compare pipeline.
+func TestSuspectRankingDeterministicAcrossParallelism(t *testing.T) {
+	checkGoroutineLeak(t)
+	sc := faults.LocalizationScenarios()[0]
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed:        43,
+		Specs:       sc.Specs,
+		Incast:      sc.Incast,
+		Faults:      sc.Faults,
+		BaselineDur: 45 * time.Second,
+		FaultDur:    45 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []flowdiff.SuspectScore
+	for i, workers := range []int{1, 2, 4, 7} {
+		o := res.Options()
+		o.Parallelism = workers
+		rep, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Suspects) == 0 {
+			t.Fatalf("workers=%d: no suspects; determinism check would be vacuous", workers)
+		}
+		if i == 0 {
+			want = rep.Suspects
+			continue
+		}
+		if !reflect.DeepEqual(rep.Suspects, want) {
+			t.Errorf("workers=%d: suspect ranking differs from sequential:\n%+v\nvs\n%+v",
+				workers, rep.Suspects, want)
+		}
+	}
+}

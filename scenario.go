@@ -22,6 +22,12 @@ type Scenario struct {
 	Case int
 	// Case5 overrides the case-5 workload parameters (P(x,y), R(m,n)).
 	Case5 *workload.Case5Params
+	// Specs, when non-empty, replaces the Table II deployment with an
+	// explicit set of chain workloads (Case/Case5 are ignored).
+	Specs []workload.Spec
+	// Incast attaches many-to-one synchronized burst workloads alongside
+	// the chains; like them, they run through both intervals.
+	Incast []workload.IncastSpec
 	// BaselineDur and FaultDur are the L1 and L2 capture lengths.
 	// Defaults: 3 min each.
 	BaselineDur, FaultDur time.Duration
@@ -39,6 +45,8 @@ type ScenarioResult struct {
 	Topo   *topology.Topology
 	Net    *simnet.Network
 	Apps   []*workload.App
+	// IncastApps are the attached burst workloads (Scenario.Incast).
+	IncastApps []*workload.IncastApp
 	// TaskRuns are the flows of the operator tasks executed during L2.
 	TaskRuns []workload.TaskRun
 }
@@ -72,7 +80,9 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	}
 
 	var specs []workload.Spec
-	if s.Case == 5 && s.Case5 != nil {
+	if len(s.Specs) > 0 {
+		specs = s.Specs
+	} else if s.Case == 5 && s.Case5 != nil {
 		p := *s.Case5
 		if p.Duration == 0 {
 			p.Duration = s.BaselineDur
@@ -95,6 +105,15 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 		app.Run(0, total)
 		apps = append(apps, app)
 	}
+	incasts := make([]*workload.IncastApp, 0, len(s.Incast))
+	for i, spec := range s.Incast {
+		app, err := workload.AttachIncast(net, spec, s.Seed+int64(len(specs)+i)+1)
+		if err != nil {
+			return nil, fmt.Errorf("flowdiff: attaching incast app %q: %w", spec.Name, err)
+		}
+		app.Run(0, total)
+		incasts = append(incasts, app)
+	}
 
 	// Capture L1.
 	net.Eng.Run(s.BaselineDur)
@@ -102,7 +121,7 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	net.ResetLog()
 
 	// Inject faults and execute tasks at the start of L2.
-	res := &ScenarioResult{Topo: topo, Net: net, Apps: apps}
+	res := &ScenarioResult{Topo: topo, Net: net, Apps: apps, IncastApps: incasts}
 	for _, f := range s.Faults {
 		if err := f.Apply(net, apps); err != nil {
 			return nil, fmt.Errorf("flowdiff: applying fault %q: %w", f.Name(), err)

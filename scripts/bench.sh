@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Perf-trajectory tracker: runs the benchmarks that gate the hot paths
 # (BuildSignatures, occurrence extraction, Monitor flush, stability,
-# task mining, group discovery) and writes a machine-readable
+# task mining, group discovery, suspect voting) and writes a
+# machine-readable
 # bench_results/BENCH_<n>.json, so speedups and regressions are
 # comparable across PRs.
 #
@@ -17,12 +18,12 @@ while [ -e "bench_results/BENCH_${n}.json" ]; do n=$((n + 1)); done
 out="bench_results/BENCH_${n}.json"
 
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover}"
+filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover|BenchmarkRankSuspects}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" \
-	. ./internal/core/signature ./internal/core/taskmine ./internal/core/appgroup | tee "$raw"
+	. ./internal/core/signature ./internal/core/taskmine ./internal/core/appgroup ./internal/core/diagnose | tee "$raw"
 
 # Record the hardware parallelism the numbers were taken at: worker
 # clamping makes workers>GOMAXPROCS runs equivalent to serial, so a

@@ -14,6 +14,11 @@ go vet ./...
 go run ./cmd/flowdifflint ./...
 go build ./...
 go test -race ./...
+# Localization-accuracy smoke: the evidence-voting suspect ranker must
+# keep top-1 >= 80% and top-3 >= 95% across 10 seeds on each fabric
+# fault scenario, and strictly beat the change-count baseline on
+# equal-cost-link-drop (floors pinned inside the test).
+go test -run TestLocalizationAccuracy ./internal/experiments/
 # ./... picks up every bench, including the hot-path gates tracked in
 # bench_results/ (BuildSignatures, Occurrences, MonitorFlush,
 # AnalyzeStability, Mine, Discover) and their retained naive
