@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/flowlog/colseg"
+)
+
+// loadLog reads a log in any of the three serializations, detected by
+// magic prefix: FDC1 (segmented columnar), FDL1 (row binary), else JSON.
+func loadLog(path string) (*flowlog.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(4)
+	if err == nil {
+		switch string(magic) {
+		case "FDC1":
+			return colseg.Read(br)
+		case "FDL1":
+			return flowlog.ReadBinary(br)
+		}
+	}
+	return flowlog.ReadJSON(br)
+}
+
+// runConvert implements the convert subcommand: re-serialize a log
+// between the JSON, FDL1 (row binary), and FDC1 (segmented columnar)
+// formats. The input format is auto-detected.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("flowdiff convert", flag.ExitOnError)
+	var (
+		in         = fs.String("in", "", "input log (JSON, FDL1, or FDC1; format auto-detected)")
+		out        = fs.String("out", "", "output path")
+		to         = fs.String("to", "columnar", "output format: columnar | binary | json")
+		segDur     = fs.Duration("segment", 0, "columnar segment time range (default 30s)")
+		segMaxEvts = fs.Int("segment-events", 0, "columnar per-segment event cap (default 65536)")
+	)
+	// ExitOnError: Parse never returns a non-nil error to us.
+	_ = fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: both -in and -out are required")
+	}
+
+	log, err := loadLog(*in)
+	if err != nil {
+		return fmt.Errorf("convert: loading %s: %w", *in, err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("convert: %w", err)
+	}
+	switch *to {
+	case "columnar":
+		err = colseg.Write(f, log, colseg.WriterOptions{
+			SegmentDuration:  *segDur,
+			MaxSegmentEvents: *segMaxEvts,
+		})
+	case "binary":
+		err = log.WriteBinary(f)
+	case "json":
+		err = log.WriteJSON(f)
+	default:
+		err = fmt.Errorf("unknown output format %q (want columnar, binary, or json)", *to)
+	}
+	if err != nil {
+		// Best-effort cleanup of the partial output; the write error is
+		// what the user needs to see.
+		_ = f.Close()
+		_ = os.Remove(*out)
+		return fmt.Errorf("convert: writing %s: %w", *out, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("convert: closing %s: %w", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "flowdiff: converted %d events (%s) to %s %s\n",
+		len(log.Events), *in, *to, *out)
+	return nil
+}

@@ -9,6 +9,11 @@
 //	flowdiff -baseline l1.json -current l2.json -topo lab
 //	flowdiff -baseline l1.json -current l2.json -stats
 //	flowdiff serve -baseline l1.json -current l2.json
+//	flowdiff convert -in l1.json -out l1.fdc -to columnar
+//
+// Logs are accepted in any serialization — JSON, FDL1 (row binary), or
+// FDC1 (segmented columnar) — detected by magic prefix; the convert
+// subcommand re-serializes between them.
 //
 // The serve subcommand keeps the process alive after printing the
 // report, exposing /metrics (the obs snapshot), /debug/vars, and
@@ -19,7 +24,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -27,7 +31,6 @@ import (
 	"os/signal"
 
 	"flowdiff"
-	"flowdiff/internal/flowlog"
 	"flowdiff/internal/obs"
 	"flowdiff/internal/topology"
 )
@@ -41,6 +44,9 @@ func main() {
 
 func run() error {
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "convert" {
+		return runConvert(args[1:])
+	}
 	serveMode := len(args) > 0 && args[0] == "serve"
 	if serveMode {
 		args = args[1:]
@@ -59,26 +65,11 @@ func run() error {
 		return fmt.Errorf("both -baseline and -current are required")
 	}
 
-	// Logs are accepted in either serialization; the binary format is
-	// detected by its magic prefix.
-	load := func(path string) (*flowlog.Log, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		br := bufio.NewReader(f)
-		magic, err := br.Peek(4)
-		if err == nil && string(magic) == "FDL1" {
-			return flowlog.ReadBinary(br)
-		}
-		return flowlog.ReadJSON(br)
-	}
-	l1, err := load(*baselinePath)
+	l1, err := loadLog(*baselinePath)
 	if err != nil {
 		return fmt.Errorf("loading baseline: %w", err)
 	}
-	l2, err := load(*currentPath)
+	l2, err := loadLog(*currentPath)
 	if err != nil {
 		return fmt.Errorf("loading current: %w", err)
 	}

@@ -143,30 +143,65 @@ func BuildApp(log *flowlog.Log, r *appgroup.Resolver, cfg Config) []AppSignature
 	return NewPipeline(log, r, cfg).App()
 }
 
-func buildAppFromOccs(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
-	return buildAppFromGroups(ctx, log, r, cfg, occs, appgroup.Discover(log, r, cfg.Special))
+// logMeta is the interval a signature build covers — the only thing the
+// per-group builds need from a log besides its aggregates, so the
+// streaming path can supply it from a file header.
+type logMeta struct {
+	Start, End time.Duration
 }
 
-func buildAppFromGroups(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence, groups []appgroup.Group) []AppSignature {
+func (m logMeta) Duration() time.Duration { return m.End - m.Start }
+
+// removedSample carries the FlowRemoved counters the FS signature
+// aggregates. Keeping samples instead of whole events lets the
+// streaming build drop FlowRemoved events after one scan.
+type removedSample struct {
+	Bytes, Packets uint64
+	Duration       time.Duration
+}
+
+// appView is everything the per-group signature builds consume from a
+// log besides its occurrences: the covered interval and the FlowRemoved
+// counter samples per host edge, in log order. Both the in-memory path
+// (viewFromLog) and the streaming path (sourceAgg) produce it, which is
+// what makes their signatures byte-identical.
+type appView struct {
+	meta    logMeta
+	removed map[Edge][]removedSample
+}
+
+// viewFromLog scans a log once for the per-edge FlowRemoved samples.
+func viewFromLog(log *flowlog.Log, r *appgroup.Resolver) appView {
+	v := appView{
+		meta:    logMeta{Start: log.Start, End: log.End},
+		removed: make(map[Edge][]removedSample),
+	}
+	for i := range log.Events {
+		ev := &log.Events[i]
+		if ev.Type != flowlog.EventFlowRemoved {
+			continue
+		}
+		e := Edge{Src: r.Node(ev.Flow.Src), Dst: r.Node(ev.Flow.Dst)}
+		v.removed[e] = append(v.removed[e], removedSample{Bytes: ev.Bytes, Packets: ev.Packets, Duration: ev.FlowDuration})
+	}
+	return v
+}
+
+func buildAppFromOccs(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) []AppSignature {
+	return buildAppFromGroups(ctx, viewFromLog(log, r), r, cfg, occs, appgroup.Discover(log, r, cfg.Special))
+}
+
+func buildAppFromGroups(ctx context.Context, view appView, r *appgroup.Resolver, cfg Config, occs []Occurrence, groups []appgroup.Group) []AppSignature {
 	if len(groups) == 0 {
 		return nil
 	}
 
-	// Index occurrences and FlowRemoved events by host edge. The maps are
-	// read-only once built, so the group builds can share them.
+	// Index occurrences by host edge. The map is read-only once built,
+	// so the group builds can share it (the view's removed map likewise).
 	occsByEdge := make(map[Edge][]Occurrence)
 	for _, o := range occs {
 		e := Edge{Src: r.Node(o.Key.Src), Dst: r.Node(o.Key.Dst)}
 		occsByEdge[e] = append(occsByEdge[e], o)
-	}
-	removedByEdge := make(map[Edge][]flowlog.Event)
-	for i := range log.Events {
-		if log.Events[i].Type != flowlog.EventFlowRemoved {
-			continue
-		}
-		ev := log.Events[i]
-		e := Edge{Src: r.Node(ev.Flow.Src), Dst: r.Node(ev.Flow.Dst)}
-		removedByEdge[e] = append(removedByEdge[e], ev)
 	}
 
 	out := make([]AppSignature, len(groups))
@@ -175,16 +210,16 @@ func buildAppFromGroups(ctx context.Context, log *flowlog.Log, r *appgroup.Resol
 	// the build, and a canceled pipeline's products are discarded.
 	_ = parallel.ForContext(ctx, len(groups), cfg.workers(), func(i int) {
 		sp := reg.Span("signature.group_build")
-		out[i] = buildGroupSig(groups[i], log, cfg, occsByEdge, removedByEdge)
+		out[i] = buildGroupSig(groups[i], view, cfg, occsByEdge)
 		sp.End()
 	})
 	return out
 }
 
-func buildGroupSig(g appgroup.Group, log *flowlog.Log, cfg Config, occsByEdge map[Edge][]Occurrence, removedByEdge map[Edge][]flowlog.Event) AppSignature {
+func buildGroupSig(g appgroup.Group, view appView, cfg Config, occsByEdge map[Edge][]Occurrence) AppSignature {
 	sig := AppSignature{
 		Group:       g,
-		LogDuration: log.Duration(),
+		LogDuration: view.meta.Duration(),
 		CG:          make(map[Edge]bool),
 		FS:          make(map[Edge]FlowStats),
 		CI:          make(map[topology.NodeID]CISig),
@@ -193,12 +228,12 @@ func buildGroupSig(g appgroup.Group, log *flowlog.Log, cfg Config, occsByEdge ma
 	}
 	for _, e := range g.Edges {
 		sig.CG[e] = true
-		fs := edgeStats(occsByEdge[e], removedByEdge[e])
+		fs := edgeStats(occsByEdge[e], view.removed[e])
 		sig.FS[e] = fs
 		mergeGroupFS(&sig.GroupFS, fs)
 	}
 	buildCI(&sig)
-	buildDDAndPC(&sig, occsByEdge, log, cfg)
+	buildDDAndPC(&sig, occsByEdge, view.meta, cfg)
 	return sig
 }
 
@@ -215,7 +250,7 @@ func mergeGroupFS(g *FlowStats, fs FlowStats) {
 	g.Duration = g.Duration.Merge(fs.Duration)
 }
 
-func edgeStats(occs []Occurrence, removed []flowlog.Event) FlowStats {
+func edgeStats(occs []Occurrence, removed []removedSample) FlowStats {
 	fs := FlowStats{FlowCount: len(occs)}
 	for i, o := range occs {
 		if i == 0 || o.Start < fs.FirstSeen {
@@ -223,10 +258,10 @@ func edgeStats(occs []Occurrence, removed []flowlog.Event) FlowStats {
 		}
 	}
 	var bytes, pkts, durs []float64
-	for _, ev := range removed {
-		bytes = append(bytes, float64(ev.Bytes))
-		pkts = append(pkts, float64(ev.Packets))
-		durs = append(durs, float64(ev.FlowDuration))
+	for _, s := range removed {
+		bytes = append(bytes, float64(s.Bytes))
+		pkts = append(pkts, float64(s.Packets))
+		durs = append(durs, float64(s.Duration))
 	}
 	fs.Bytes = stats.Summarize(bytes)
 	fs.Packets = stats.Summarize(pkts)
@@ -275,7 +310,7 @@ func buildCI(sig *AppSignature) {
 
 // buildDDAndPC computes the delay distribution and partial correlation
 // for every adjacent edge pair (A->B, B->C) of the group.
-func buildDDAndPC(sig *AppSignature, occsByEdge map[Edge][]Occurrence, log *flowlog.Log, cfg Config) {
+func buildDDAndPC(sig *AppSignature, occsByEdge map[Edge][]Occurrence, meta logMeta, cfg Config) {
 	// Adjacent pairs share node B.
 	var pairs []EdgePair
 	for in := range sig.CG {
@@ -305,7 +340,7 @@ func buildDDAndPC(sig *AppSignature, occsByEdge map[Edge][]Occurrence, log *flow
 		if dd, ok := delayDistribution(ins, outs, cfg); ok {
 			sig.DD[p] = dd
 		}
-		if pc, ok := edgeCorrelation(ins, outs, log, cfg); ok {
+		if pc, ok := edgeCorrelation(ins, outs, meta, cfg); ok {
 			sig.PC[p] = pc
 		}
 	}
@@ -350,19 +385,19 @@ func delayDistribution(ins, outs []Occurrence, cfg Config) (DDSig, bool) {
 
 // edgeCorrelation computes the Pearson correlation between the two
 // edges' per-epoch flow-count time series (paper §III-B, PC).
-func edgeCorrelation(ins, outs []Occurrence, log *flowlog.Log, cfg Config) (float64, bool) {
+func edgeCorrelation(ins, outs []Occurrence, meta logMeta, cfg Config) (float64, bool) {
 	// Round the epoch count up: a log whose duration is not an epoch
 	// multiple still contributes its tail remainder as a partial epoch
 	// instead of silently dropping every occurrence in it.
-	nEpochs := int((log.Duration() + cfg.PCEpoch - 1) / cfg.PCEpoch)
+	nEpochs := int((meta.Duration() + cfg.PCEpoch - 1) / cfg.PCEpoch)
 	if nEpochs < 3 {
 		return 0, false
 	}
 	series := func(occs []Occurrence) []float64 {
 		s := make([]float64, nEpochs)
 		for _, o := range occs {
-			i := int((o.Start - log.Start) / cfg.PCEpoch)
-			if i == nEpochs && o.Start == log.End {
+			i := int((o.Start - meta.Start) / cfg.PCEpoch)
+			if i == nEpochs && o.Start == meta.End {
 				i-- // an episode starting exactly at End counts in the last epoch
 			}
 			if i >= 0 && i < nEpochs {

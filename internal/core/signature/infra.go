@@ -56,11 +56,41 @@ func BuildInfra(log *flowlog.Log, r *appgroup.Resolver, cfg Config) InfraSignatu
 	return NewPipeline(log, r, cfg).Infra()
 }
 
+// removedFlow is one flow key's final byte count: the first FlowRemoved
+// observed for the key, in log order (the first report carries the full
+// episode counters; later per-switch reports would multiply them).
+type removedFlow struct {
+	Key   flowlog.FlowKey
+	Bytes uint64
+}
+
+// firstRemovals collects each flow key's first FlowRemoved, in log order.
+func firstRemovals(log *flowlog.Log) []removedFlow {
+	var out []removedFlow
+	seen := make(map[flowlog.FlowKey]bool)
+	for i := range log.Events {
+		e := &log.Events[i]
+		if e.Type != flowlog.EventFlowRemoved || seen[e.Flow] {
+			continue
+		}
+		seen[e.Flow] = true
+		out = append(out, removedFlow{Key: e.Flow, Bytes: e.Bytes})
+	}
+	return out
+}
+
 // attachLinkBytes distributes each removed flow's byte count over the
 // switch adjacencies its occurrences traversed, normalized to bytes per
 // second of log time. occs are the log's (already extracted) episodes.
 func attachLinkBytes(inf *InfraSignature, log *flowlog.Log, occs []Occurrence) {
-	if log.Duration() <= 0 {
+	attachLinkBytesFrom(inf, log.Duration(), firstRemovals(log), occs)
+}
+
+// attachLinkBytesFrom is the shared core behind the in-memory and
+// streaming paths: removals must hold one entry per flow key, in log
+// order, so float accumulation order matches across both paths.
+func attachLinkBytesFrom(inf *InfraSignature, dur time.Duration, removals []removedFlow, occs []Occurrence) {
+	if dur <= 0 {
 		return
 	}
 	// Per flow key: the adjacency pairs its episodes traversed.
@@ -80,18 +110,10 @@ func attachLinkBytes(inf *InfraSignature, log *flowlog.Log, occs []Occurrence) {
 		pathOf[o.Key] = pairs
 	}
 	inf.LinkBytes = make(map[SwitchPair]float64)
-	secs := log.Duration().Seconds()
-	seen := make(map[flowlog.FlowKey]bool)
-	for _, e := range log.Events {
-		// Attribute the flow's final counters once per key (the first
-		// FlowRemoved carries the full byte count of the episode on each
-		// switch; counting every per-switch report would multiply it).
-		if e.Type != flowlog.EventFlowRemoved || seen[e.Flow] {
-			continue
-		}
-		seen[e.Flow] = true
-		for _, p := range pathOf[e.Flow] {
-			inf.LinkBytes[p] += float64(e.Bytes) / secs
+	secs := dur.Seconds()
+	for _, rf := range removals {
+		for _, p := range pathOf[rf.Key] {
+			inf.LinkBytes[p] += float64(rf.Bytes) / secs
 		}
 	}
 }

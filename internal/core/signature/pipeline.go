@@ -35,8 +35,12 @@ import (
 // ctx.Err() and must discard them — flowdiff.BuildSignaturesContext
 // does exactly that.
 type Pipeline struct {
-	ctx  context.Context
+	ctx context.Context
+	// Exactly one backing store is set: log for the in-memory paths, agg
+	// for pipelines streamed from an EventSource. meta covers both.
 	log  *flowlog.Log
+	agg  *sourceAgg
+	meta logMeta
 	r    *appgroup.Resolver
 	cfg  Config
 	occs []Occurrence
@@ -63,7 +67,7 @@ func NewPipelineContext(ctx context.Context, log *flowlog.Log, r *appgroup.Resol
 	occs := occurrencesSharded(ctx, log, cfg.OccurrenceGap, cfg.workers())
 	sp.End()
 	obs.From(ctx).Counter("signature.occurrences").Add(int64(len(occs)))
-	return &Pipeline{ctx: ctx, log: log, r: r, cfg: cfg, occs: occs}
+	return &Pipeline{ctx: ctx, log: log, meta: logMeta{Start: log.Start, End: log.End}, r: r, cfg: cfg, occs: occs}
 }
 
 // NewPipelineFromOccurrences is NewPipelineFromOccurrencesContext with a
@@ -81,7 +85,16 @@ func NewPipelineFromOccurrences(log *flowlog.Log, r *appgroup.Resolver, cfg Conf
 func NewPipelineFromOccurrencesContext(ctx context.Context, log *flowlog.Log, r *appgroup.Resolver, cfg Config, occs []Occurrence) *Pipeline {
 	cfg = cfg.withDefaults()
 	obs.From(ctx).Counter("signature.occurrences").Add(int64(len(occs)))
-	return &Pipeline{ctx: ctx, log: log, r: r, cfg: cfg, occs: occs}
+	return &Pipeline{ctx: ctx, log: log, meta: logMeta{Start: log.Start, End: log.End}, r: r, cfg: cfg, occs: occs}
+}
+
+// EventCount returns how many events backed the pipeline — the log's
+// length, or the number of events streamed from the source.
+func (p *Pipeline) EventCount() int {
+	if p.agg != nil {
+		return p.agg.events
+	}
+	return len(p.log.Events)
 }
 
 // Occurrences returns the shared flow episodes, ordered by start time.
@@ -93,7 +106,11 @@ func (p *Pipeline) Occurrences() []Occurrence { return p.occs }
 func (p *Pipeline) Groups() []appgroup.Group {
 	if !p.hasGroups {
 		sp := obs.Span(p.ctx, "signature.groups")
-		p.groups = appgroup.Discover(p.log, p.r, p.cfg.Special)
+		if p.agg != nil {
+			p.groups = appgroup.DiscoverFromEdges(p.agg.edges, p.cfg.Special)
+		} else {
+			p.groups = appgroup.Discover(p.log, p.r, p.cfg.Special)
+		}
 		sp.End()
 		obs.From(p.ctx).Counter("signature.groups").Add(int64(len(p.groups)))
 		p.hasGroups = true
@@ -114,15 +131,28 @@ func (p *Pipeline) SetGroups(groups []appgroup.Group) {
 // occurrences, one worker-pool task per group.
 func (p *Pipeline) App() []AppSignature {
 	defer obs.Span(p.ctx, "signature.app").End()
-	return buildAppFromGroups(p.ctx, p.log, p.r, p.cfg, p.occs, p.Groups())
+	return buildAppFromGroups(p.ctx, p.view(), p.r, p.cfg, p.occs, p.Groups())
+}
+
+// view assembles the per-group build inputs from whichever backing
+// store the pipeline has.
+func (p *Pipeline) view() appView {
+	if p.agg != nil {
+		return p.agg.view()
+	}
+	return viewFromLog(p.log, p.r)
 }
 
 // Infra builds the infrastructure signature from the shared occurrences.
 func (p *Pipeline) Infra() InfraSignature {
 	defer obs.Span(p.ctx, "signature.infra").End()
 	inf := buildInfraFromOccs(p.r, p.cfg, p.occs)
-	inf.LogDuration = p.log.Duration()
-	attachLinkBytes(&inf, p.log, p.occs)
+	inf.LogDuration = p.meta.Duration()
+	if p.agg != nil {
+		attachLinkBytesFrom(&inf, p.meta.Duration(), p.agg.removals, p.occs)
+	} else {
+		attachLinkBytes(&inf, p.log, p.occs)
+	}
 	return inf
 }
 
@@ -134,12 +164,19 @@ func (p *Pipeline) Infra() InfraSignature {
 func (p *Pipeline) Stability(scfg StabilityConfig, full []AppSignature) (map[string]Stability, error) {
 	defer obs.Span(p.ctx, "signature.stability").End()
 	scfg = scfg.withDefaults()
+	if p.agg != nil {
+		return p.stabilityFromAgg(scfg, full)
+	}
 	segs, err := p.log.Segment(scfg.Intervals)
 	if err != nil {
 		return nil, fmt.Errorf("signature: segmenting log: %w", err)
 	}
 	obs.From(p.ctx).Counter("signature.intervals").Add(int64(len(segs)))
-	parts := partitionByStart(p.occs, segs)
+	metas := make([]logMeta, len(segs))
+	for i, s := range segs {
+		metas[i] = logMeta{Start: s.Start, End: s.End}
+	}
+	parts := partitionByStart(p.occs, metas)
 	intervals := make([][]AppSignature, len(segs))
 	// Parallelism lives at the interval level here; the nested per-group
 	// builds run serially so the pool stays bounded at cfg.workers().
@@ -153,11 +190,41 @@ func (p *Pipeline) Stability(scfg StabilityConfig, full []AppSignature) (map[str
 	return Stabilities(full, intervals, scfg), nil
 }
 
+// stabilityFromAgg is Stability over a source-streamed pipeline: the
+// per-interval edge sets and FlowRemoved samples were aggregated during
+// the streaming pass (sized by the StabilityConfig given then), so each
+// interval build needs only its occurrence partition.
+func (p *Pipeline) stabilityFromAgg(scfg StabilityConfig, full []AppSignature) (map[string]Stability, error) {
+	if p.agg.segErr != nil {
+		return nil, fmt.Errorf("signature: segmenting log: %w", p.agg.segErr)
+	}
+	if scfg.Intervals != len(p.agg.segs) {
+		return nil, fmt.Errorf("signature: source pipeline aggregated %d stability intervals, asked for %d", len(p.agg.segs), scfg.Intervals)
+	}
+	obs.From(p.ctx).Counter("signature.intervals").Add(int64(len(p.agg.segs)))
+	metas := make([]logMeta, len(p.agg.segs))
+	for i := range p.agg.segs {
+		metas[i] = p.agg.segs[i].meta
+	}
+	parts := partitionByStart(p.occs, metas)
+	intervals := make([][]AppSignature, len(metas))
+	serial := p.cfg
+	serial.Parallelism = 1
+	if err := parallel.ForContext(p.ctx, len(metas), p.cfg.workers(), func(i int) {
+		sa := &p.agg.segs[i]
+		groups := appgroup.DiscoverFromEdges(sa.edges, serial.Special)
+		intervals[i] = buildAppFromGroups(p.ctx, appView{meta: sa.meta, removed: sa.removed}, p.r, serial, parts[i], groups)
+	}); err != nil {
+		return nil, err
+	}
+	return Stabilities(full, intervals, scfg), nil
+}
+
 // partitionByStart slices occs (sorted by start time) into per-segment
 // subslices: an occurrence belongs to the interval containing its start.
 // The final segment is inclusive of its end so an episode starting
 // exactly at the log's End is not lost (mirroring flowlog.Segment).
-func partitionByStart(occs []Occurrence, segs []*flowlog.Log) [][]Occurrence {
+func partitionByStart(occs []Occurrence, segs []logMeta) [][]Occurrence {
 	parts := make([][]Occurrence, len(segs))
 	for i, s := range segs {
 		from, to := s.Start, s.End

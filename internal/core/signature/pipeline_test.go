@@ -94,7 +94,7 @@ func TestEdgeCorrelationIncludesTailEpoch(t *testing.T) {
 		outs = append(outs, Occurrence{Start: s + 100*time.Millisecond})
 	}
 	cfg := Config{}.withDefaults()
-	pc, ok := edgeCorrelation(ins, outs, log, cfg)
+	pc, ok := edgeCorrelation(ins, outs, logMeta{Start: log.Start, End: log.End}, cfg)
 	if !ok {
 		t.Fatal("no PC computed: tail-epoch occurrences were dropped")
 	}
@@ -114,7 +114,11 @@ func TestPartitionByStartBoundaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parts := partitionByStart(occs, segs)
+	metas := make([]logMeta, len(segs))
+	for i, s := range segs {
+		metas[i] = logMeta{Start: s.Start, End: s.End}
+	}
+	parts := partitionByStart(occs, metas)
 	if len(parts[0]) != 3 {
 		t.Errorf("first interval got %d occurrences, want 3 (start 5s belongs to the second)", len(parts[0]))
 	}

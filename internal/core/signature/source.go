@@ -1,0 +1,281 @@
+package signature
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
+	"flowdiff/internal/parallel"
+)
+
+// EventSource is a pull-based stream of decoded event batches, the
+// streaming counterpart of a materialized flowlog.Log. colseg.Reader
+// implements it over the on-disk columnar format. Next returns io.EOF
+// after the final batch; a returned slice is only valid until the next
+// call, so consumers must not retain it (events themselves may be
+// copied out freely).
+type EventSource interface {
+	Next() ([]flowlog.Event, error)
+	// Bounds returns the covered interval [start, end] — flowlog.Log's
+	// Start and End.
+	Bounds() (start, end time.Duration)
+}
+
+// sourceAgg accumulates, in one streaming pass, every per-log aggregate
+// the signature builds need besides the occurrences: the distinct
+// PacketIn edge set (group discovery), per-edge FlowRemoved samples in
+// log order (FS statistics), the first FlowRemoved per flow key in log
+// order (link-utilization attribution), and per-stability-interval
+// versions of the first two. Each aggregate replicates exactly what the
+// in-memory path derives from the full event slice, which is what makes
+// the streaming build's report byte-identical.
+type sourceAgg struct {
+	meta    logMeta
+	edges   map[Edge]int
+	removed map[Edge][]removedSample
+	// removals is firstRemovals of the streamed log: one entry per flow
+	// key, in log order.
+	removals []removedFlow
+	// segs mirror flowlog.Segment(intervals) over [Start, End]; segErr
+	// preserves Segment's error for Stability-time parity.
+	segs     []segAgg
+	segWidth time.Duration
+	segErr   error
+	events   int
+
+	seenFlows   map[flowlog.FlowKey]bool
+	seenRemoved map[flowlog.FlowKey]bool
+}
+
+// segAgg is one stability interval's slice of the aggregates.
+type segAgg struct {
+	meta    logMeta
+	edges   map[Edge]int
+	removed map[Edge][]removedSample
+	seen    map[flowlog.FlowKey]bool
+}
+
+func newSourceAgg(start, end time.Duration, intervals int) *sourceAgg {
+	a := &sourceAgg{
+		meta:        logMeta{Start: start, End: end},
+		edges:       make(map[Edge]int),
+		removed:     make(map[Edge][]removedSample),
+		seenFlows:   make(map[flowlog.FlowKey]bool),
+		seenRemoved: make(map[flowlog.FlowKey]bool),
+	}
+	segs, err := (&flowlog.Log{Start: start, End: end}).Segment(intervals)
+	if err != nil {
+		a.segErr = err
+		return a
+	}
+	a.segWidth = (end - start) / time.Duration(intervals)
+	a.segs = make([]segAgg, len(segs))
+	for i, s := range segs {
+		a.segs[i] = segAgg{
+			meta:    logMeta{Start: s.Start, End: s.End},
+			edges:   make(map[Edge]int),
+			removed: make(map[Edge][]removedSample),
+			seen:    make(map[flowlog.FlowKey]bool),
+		}
+	}
+	return a
+}
+
+// segIndex maps an event time to its stability interval, mirroring
+// flowlog.Segment's windows: half-open except the final interval, which
+// absorbs the division remainder and is inclusive of End. Events outside
+// [Start, End] belong to no interval (Segment's windows never cover
+// them either).
+func (a *sourceAgg) segIndex(t time.Duration) int {
+	if len(a.segs) == 0 || t < a.meta.Start || t > a.meta.End {
+		return -1
+	}
+	i := int((t - a.meta.Start) / a.segWidth)
+	if i >= len(a.segs) {
+		i = len(a.segs) - 1
+	}
+	return i
+}
+
+// add folds one event into the aggregates. Events must arrive in log
+// order: the sample slices' order is part of the byte-identical
+// contract.
+func (a *sourceAgg) add(e *flowlog.Event, r *appgroup.Resolver) {
+	a.events++
+	switch e.Type {
+	case flowlog.EventPacketIn:
+		edge := Edge{Src: r.Node(e.Flow.Src), Dst: r.Node(e.Flow.Dst)}
+		if !a.seenFlows[e.Flow] {
+			a.seenFlows[e.Flow] = true
+			a.edges[edge]++
+		}
+		if i := a.segIndex(e.Time); i >= 0 {
+			s := &a.segs[i]
+			if !s.seen[e.Flow] {
+				s.seen[e.Flow] = true
+				s.edges[edge]++
+			}
+		}
+	case flowlog.EventFlowRemoved:
+		edge := Edge{Src: r.Node(e.Flow.Src), Dst: r.Node(e.Flow.Dst)}
+		sample := removedSample{Bytes: e.Bytes, Packets: e.Packets, Duration: e.FlowDuration}
+		a.removed[edge] = append(a.removed[edge], sample)
+		if !a.seenRemoved[e.Flow] {
+			a.seenRemoved[e.Flow] = true
+			a.removals = append(a.removals, removedFlow{Key: e.Flow, Bytes: e.Bytes})
+		}
+		if i := a.segIndex(e.Time); i >= 0 {
+			s := &a.segs[i]
+			s.removed[edge] = append(s.removed[edge], sample)
+		}
+	}
+}
+
+func (a *sourceAgg) view() appView {
+	return appView{meta: a.meta, removed: a.removed}
+}
+
+// streamStageEvents is how many staged control events accumulate before
+// the sharded extractor drains them onto the worker pool. Large enough
+// to amortize fan-out, small enough that staging stays a rounding error
+// against a decoded segment.
+const streamStageEvents = 1 << 15
+
+// streamShards fans streamed events into per-flow-shard StreamExtractors,
+// the streaming counterpart of OccurrencesSharded: events are staged by
+// flow-key hash and periodically drained in parallel — each extractor is
+// touched by one worker per drain, and shard assignment depends only on
+// the key, so every event of a key lands in the same extractor. Each
+// per-shard Flush is in canonical occurrence order and the merge
+// comparator is a total order, so the result is byte-identical to the
+// serial path for every worker count.
+type streamShards struct {
+	xs     []*StreamExtractor
+	bufs   [][]flowlog.Event
+	staged int
+}
+
+func newStreamShards(gap time.Duration, workers int) *streamShards {
+	s := &streamShards{
+		xs:   make([]*StreamExtractor, workers),
+		bufs: make([][]flowlog.Event, workers),
+	}
+	for i := range s.xs {
+		s.xs[i] = NewStreamExtractor(gap)
+	}
+	return s
+}
+
+func (s *streamShards) stage(e flowlog.Event) {
+	if !relevant(e.Type) {
+		return
+	}
+	const liveBit = 1 << 31
+	w := int(hashKey(e.Flow)&^uint32(liveBit)) % len(s.xs)
+	s.bufs[w] = append(s.bufs[w], e)
+	s.staged++
+}
+
+func (s *streamShards) drain(ctx context.Context) error {
+	err := parallel.ForContext(ctx, len(s.xs), len(s.xs), func(w int) {
+		for _, e := range s.bufs[w] {
+			s.xs[w].Append(e)
+		}
+		s.bufs[w] = s.bufs[w][:0]
+	})
+	s.staged = 0
+	return err
+}
+
+func (s *streamShards) finish(ctx context.Context) ([]Occurrence, error) {
+	if err := s.drain(ctx); err != nil {
+		return nil, err
+	}
+	parts := make([][]Occurrence, len(s.xs))
+	if err := parallel.ForContext(ctx, len(s.xs), len(s.xs), func(w int) {
+		parts[w] = s.xs[w].Flush()
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOccurrences(parts), nil
+}
+
+// NewPipelineFromSource is NewPipelineFromSourceContext with a
+// background context.
+func NewPipelineFromSource(src EventSource, r *appgroup.Resolver, cfg Config, scfg StabilityConfig) (*Pipeline, error) {
+	return NewPipelineFromSourceContext(context.Background(), src, r, cfg, scfg)
+}
+
+// NewPipelineFromSourceContext builds a pipeline by streaming the
+// source once: occurrences are extracted incrementally (sharded by
+// flow-key hash across Config.Parallelism workers), and everything else
+// the signature builds need — edge sets, FlowRemoved samples, per-
+// interval aggregates sized by scfg.Intervals — is folded into running
+// aggregates, so peak memory is one decoded batch plus the aggregates
+// and occurrences, never the full event slice. The resulting pipeline's
+// products are byte-identical to one built over the same events in
+// memory; its Stability must be called with the same interval count the
+// aggregates were sized with.
+func NewPipelineFromSourceContext(ctx context.Context, src EventSource, r *appgroup.Resolver, cfg Config, scfg StabilityConfig) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	scfg = scfg.withDefaults()
+	start, end := src.Bounds()
+	agg := newSourceAgg(start, end, scfg.Intervals)
+	sp := obs.Span(ctx, "signature.extract")
+	occs, err := extractFromSource(ctx, src, agg, r, cfg)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	obs.From(ctx).Counter("signature.occurrences").Add(int64(len(occs)))
+	return &Pipeline{ctx: ctx, meta: agg.meta, agg: agg, r: r, cfg: cfg, occs: occs}, nil
+}
+
+// extractFromSource drains the source, feeding every event to the
+// aggregates and every control event to the occurrence extractor —
+// serial below two workers, sharded otherwise.
+func extractFromSource(ctx context.Context, src EventSource, agg *sourceAgg, r *appgroup.Resolver, cfg Config) ([]Occurrence, error) {
+	workers := cfg.workers()
+	var (
+		serial *StreamExtractor
+		shards *streamShards
+	)
+	if workers <= 1 {
+		serial = NewStreamExtractor(cfg.OccurrenceGap)
+	} else {
+		shards = newStreamShards(cfg.OccurrenceGap, workers)
+	}
+	for {
+		batch, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("signature: reading event source: %w", err)
+		}
+		for i := range batch {
+			agg.add(&batch[i], r)
+			if serial != nil {
+				serial.Append(batch[i])
+			} else {
+				shards.stage(batch[i])
+			}
+		}
+		if shards != nil && shards.staged >= streamStageEvents {
+			if err := shards.drain(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if serial != nil {
+		return serial.Flush(), nil
+	}
+	return shards.finish(ctx)
+}

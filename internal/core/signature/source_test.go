@@ -1,0 +1,184 @@
+package signature
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"flowdiff/internal/core/appgroup"
+	"flowdiff/internal/flowlog"
+)
+
+// sliceSource adapts an in-memory event slice to the EventSource
+// interface, serving fixed-size batches like a decoding reader would.
+type sliceSource struct {
+	events     []flowlog.Event
+	start, end time.Duration
+	batch      int
+	pos        int
+}
+
+func (s *sliceSource) Next() ([]flowlog.Event, error) {
+	if s.pos >= len(s.events) {
+		return nil, io.EOF
+	}
+	n := s.batch
+	if n <= 0 {
+		n = 512
+	}
+	if s.pos+n > len(s.events) {
+		n = len(s.events) - s.pos
+	}
+	b := s.events[s.pos : s.pos+n]
+	s.pos += n
+	return b, nil
+}
+
+func (s *sliceSource) Bounds() (start, end time.Duration) { return s.start, s.end }
+
+func sourceOf(l *flowlog.Log, batch int) *sliceSource {
+	return &sliceSource{events: l.Events, start: l.Start, end: l.End, batch: batch}
+}
+
+// TestPipelineFromSourceMatchesInMemory pins the streaming build's
+// equivalence contract: every product of a source-fed pipeline —
+// occurrences, app signatures, infra signature, stability — must be
+// byte-identical (reflect.DeepEqual over float-carrying structs, so
+// same accumulation order, not just same values) to the in-memory
+// pipeline over the same events, for every worker count.
+func TestPipelineFromSourceMatchesInMemory(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	log := benchLog(40_000)
+	r := appgroup.NewResolver(nil)
+	ref := NewPipeline(log, r, Config{Parallelism: 1})
+	refApp := ref.App()
+	refInfra := ref.Infra()
+	refStab, err := ref.Stability(StabilityConfig{}, refApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 7} {
+		p, err := NewPipelineFromSource(sourceOf(log, 1000), r, Config{Parallelism: workers}, StabilityConfig{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if p.EventCount() != len(log.Events) {
+			t.Errorf("workers=%d: EventCount = %d, want %d", workers, p.EventCount(), len(log.Events))
+		}
+		if !reflect.DeepEqual(p.Occurrences(), ref.Occurrences()) {
+			t.Errorf("workers=%d: occurrences differ (%d vs %d)", workers, len(p.Occurrences()), len(ref.Occurrences()))
+		}
+		if app := p.App(); !reflect.DeepEqual(app, refApp) {
+			t.Errorf("workers=%d: app signatures differ", workers)
+		}
+		if inf := p.Infra(); !reflect.DeepEqual(inf, refInfra) {
+			t.Errorf("workers=%d: infra signatures differ", workers)
+		}
+		stab, err := p.Stability(StabilityConfig{}, refApp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(stab, refStab) {
+			t.Errorf("workers=%d: stability results differ", workers)
+		}
+	}
+}
+
+// Batch size must be invisible: the same events in different batch
+// shapes yield the same occurrences.
+func TestPipelineFromSourceBatchShapeInvariant(t *testing.T) {
+	log := benchLog(5_000)
+	r := appgroup.NewResolver(nil)
+	want := NewPipeline(log, r, Config{Parallelism: 1}).Occurrences()
+	for _, batch := range []int{1, 7, 8192} {
+		p, err := NewPipelineFromSource(sourceOf(log, batch), r, Config{Parallelism: 1}, StabilityConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p.Occurrences(), want) {
+			t.Errorf("batch=%d: occurrences differ", batch)
+		}
+	}
+}
+
+// Stability over a source pipeline is sized at construction; asking for
+// a different interval count later must fail loudly, not mis-bucket.
+func TestPipelineFromSourceIntervalMismatch(t *testing.T) {
+	log := benchLog(2_000)
+	r := appgroup.NewResolver(nil)
+	p, err := NewPipelineFromSource(sourceOf(log, 500), r, Config{Parallelism: 1}, StabilityConfig{Intervals: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Stability(StabilityConfig{Intervals: 3}, p.App()); err == nil {
+		t.Error("want error for interval-count mismatch")
+	}
+	if _, err := p.Stability(StabilityConfig{Intervals: 5}, p.App()); err != nil {
+		t.Errorf("matching interval count: %v", err)
+	}
+}
+
+// A zero-duration source defers flowlog.Segment's error to Stability —
+// the same stage where the in-memory pipeline reports it.
+func TestPipelineFromSourceSegmentErrorParity(t *testing.T) {
+	l := flowlog.New(0, 0)
+	l.Append(flowlog.Event{Time: 0, Type: flowlog.EventPacketIn, Switch: "sw",
+		Flow: flowlog.FlowKey{Proto: 6, Src: addr(1), Dst: addr(2), SrcPort: 1, DstPort: 2}})
+	r := appgroup.NewResolver(nil)
+	p, err := NewPipelineFromSource(sourceOf(l, 10), r, Config{Parallelism: 1}, StabilityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errSrc := p.Stability(StabilityConfig{}, p.App())
+	_, errMem := NewPipeline(l, r, Config{Parallelism: 1}).Stability(StabilityConfig{}, nil)
+	if errSrc == nil || errMem == nil {
+		t.Fatalf("want errors from both paths, got src=%v mem=%v", errSrc, errMem)
+	}
+	if errSrc.Error() != errMem.Error() {
+		t.Errorf("error parity: src %q, mem %q", errSrc, errMem)
+	}
+}
+
+type failingSource struct{ after int }
+
+func (f *failingSource) Next() ([]flowlog.Event, error) {
+	if f.after > 0 {
+		f.after--
+		return []flowlog.Event{{Time: time.Second, Type: flowlog.EventPacketIn}}, nil
+	}
+	return nil, errors.New("disk on fire")
+}
+
+func (f *failingSource) Bounds() (start, end time.Duration) { return 0, time.Minute }
+
+func TestPipelineFromSourceReadError(t *testing.T) {
+	_, err := NewPipelineFromSource(&failingSource{after: 2}, appgroup.NewResolver(nil), Config{}, StabilityConfig{})
+	if err == nil {
+		t.Fatal("want the source's read error")
+	}
+	if got := err.Error(); got != "signature: reading event source: disk on fire" {
+		t.Errorf("err = %q", got)
+	}
+}
+
+func TestPipelineFromSourceEmpty(t *testing.T) {
+	p, err := NewPipelineFromSource(sourceOf(flowlog.New(0, time.Minute), 10), appgroup.NewResolver(nil), Config{}, StabilityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EventCount() != 0 {
+		t.Errorf("EventCount = %d, want 0", p.EventCount())
+	}
+	if occs := p.Occurrences(); len(occs) != 0 {
+		t.Errorf("got %d occurrences from an empty source", len(occs))
+	}
+	if app := p.App(); len(app) != 0 {
+		t.Errorf("got %d app signatures from an empty source", len(app))
+	}
+}

@@ -107,7 +107,19 @@ func ReadBinary(r io.Reader) (*Log, error) {
 	if count > maxEvents {
 		return nil, fmt.Errorf("flowlog: implausible event count %d", count)
 	}
-	l.Events = make([]Event, 0, count)
+	// Cap the preallocation: the header's count is unverified until the
+	// records actually decode, and a truncated or corrupted file must
+	// fail with a wrapped error, not an out-of-memory allocation.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	l.Events = make([]Event, 0, prealloc)
+	// A capture from N switches repeats the same few names on every
+	// record; interning during decode allocates each name once instead of
+	// once per event.
+	names := make(map[string]string)
+	var nameBuf [256]byte
 	var rec [59]byte
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -137,11 +149,18 @@ func ReadBinary(r io.Reader) (*Log, error) {
 			return nil, fmt.Errorf("flowlog: reading record %d: %w", i, err)
 		}
 		if nameLen > 0 {
-			name := make([]byte, nameLen)
-			if _, err := io.ReadFull(br, name); err != nil {
+			raw := nameBuf[:nameLen]
+			if _, err := io.ReadFull(br, raw); err != nil {
 				return nil, fmt.Errorf("flowlog: reading record %d: %w", i, err)
 			}
-			e.Switch = string(name)
+			// string(raw) as a map key does not allocate (the compiler's
+			// map-lookup optimization); only a miss converts for real.
+			name, ok := names[string(raw)]
+			if !ok {
+				name = string(raw)
+				names[name] = name
+			}
+			e.Switch = name
 		}
 		l.Events = append(l.Events, e)
 	}

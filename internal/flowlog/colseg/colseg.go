@@ -1,0 +1,158 @@
+// Package colseg implements FDC1, the segmented columnar on-disk
+// flow-log format, and the streaming reader that feeds signature builds
+// without materializing the full event slice.
+//
+// A capture is split into segments, one per fixed time range (plus an
+// event-count cap, so a burst cannot produce an unbounded segment), and
+// each segment stores its events column by column:
+//
+//	file    := header segment* "FEND"
+//	header  := "FDC1" | version u8 | ncols u8 |
+//	           start i64 | end i64 | segWidth i64
+//	segment := "FSEG" | minTime i64 | maxTime i64 |
+//	           count u32 | payloadLen u32 |
+//	           payload | footer
+//	payload := column blocks, concatenated in column order
+//	footer  := ncols x colOffset u32 | crc32(payload) u32
+//
+// Fixed-width integers are big-endian (matching FDL1). The segment
+// preamble carries min/max event time so a time-range reader can prune
+// a whole segment — skip its payload bytes without decoding — from 24
+// bytes of metadata; the footer carries the per-column offsets into the
+// payload and a CRC32 (IEEE) over it, checked before decoding.
+//
+// Column encodings (in payload order):
+//
+//	time                  delta from previous event, zigzag varint
+//	type, reason, proto   run-length (uvarint run, value byte)
+//	src, dst              per-segment IPv4 dictionary (first-appearance
+//	                      order; 0.0.0.0 encodes the zero netip.Addr),
+//	                      then one uvarint dictionary index per event
+//	srcPort, dstPort,
+//	inPort, outPort,
+//	dpid, bytes, packets,
+//	flowDuration          uvarint per event
+//	switch                per-segment string dictionary + uvarint index
+//
+// Measured on the canonical scenario capture, FDC1 is >= 1.5x smaller
+// than the row-oriented FDL1 format (see TestColumnarCompressionRatio
+// and BenchmarkCompressionRatio).
+package colseg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+const (
+	fileMagic = "FDC1"
+	segMagic  = "FSEG"
+	endMagic  = "FEND"
+
+	formatVersion = 1
+)
+
+// Column order inside a segment payload. numColumns is written to the
+// header so a reader can reject files from a different layout revision.
+const (
+	columnTime = iota
+	columnType
+	columnReason
+	columnProto
+	columnSrc
+	columnDst
+	columnSrcPort
+	columnDstPort
+	columnInPort
+	columnOutPort
+	columnDPID
+	columnBytes
+	columnPackets
+	columnFlowDur
+	columnSwitch
+	numColumns
+)
+
+// Sanity bounds: a corrupted or hostile preamble must not drive an
+// allocation, so counts and lengths are capped before any make().
+const (
+	maxSegmentEvents = 1 << 22 // 4M events per segment
+	maxPayloadLen    = 1 << 28 // 256 MiB per segment payload
+	maxNameLen       = 1 << 12 // switch-name dictionary entry
+)
+
+const (
+	headerLen   = 4 + 1 + 1 + 8 + 8 + 8 // magic version ncols start end width
+	preambleLen = 8 + 8 + 4 + 4         // minTime maxTime count payloadLen
+	footerLen   = numColumns*4 + 4      // offsets + crc32
+)
+
+// WriterOptions tunes segmentation. The zero value takes the defaults.
+type WriterOptions struct {
+	// SegmentDuration is the fixed time range one segment covers.
+	// Default 30 s.
+	SegmentDuration time.Duration
+	// MaxSegmentEvents caps a segment's event count, so a burst inside
+	// one time range still yields bounded segments (several segments
+	// then share the range; their min/max metadata stays correct).
+	// Default 65536, clamped to the format's hard cap.
+	MaxSegmentEvents int
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.SegmentDuration <= 0 {
+		o.SegmentDuration = 30 * time.Second
+	}
+	if o.MaxSegmentEvents <= 0 {
+		o.MaxSegmentEvents = 1 << 16
+	}
+	if o.MaxSegmentEvents > maxSegmentEvents {
+		o.MaxSegmentEvents = maxSegmentEvents
+	}
+	return o
+}
+
+// cursor is a bounds-checked decoder over one column block. Every read
+// returns an error instead of panicking, so corrupted offsets or
+// truncated varints surface as wrapped decode errors.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("colseg: truncated uvarint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("colseg: truncated varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) byte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, fmt.Errorf("colseg: truncated byte at offset %d", c.off)
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, fmt.Errorf("colseg: truncated %d-byte read at offset %d", n, c.off)
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}

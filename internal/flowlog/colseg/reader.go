@@ -1,0 +1,408 @@
+package colseg
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/netip"
+	"time"
+
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/obs"
+)
+
+// ReaderOptions tunes streaming decode.
+type ReaderOptions struct {
+	// From/To restrict the read to events in [From, To) — the same
+	// half-open semantics as flowlog.Window. Segments whose [min, max]
+	// time range does not overlap the window are pruned from their
+	// 24-byte preamble: their payload is skipped, never decoded. The
+	// filter is active only when To > From; the zero options read
+	// everything.
+	From, To time.Duration
+	// BatchSize caps the event count of one Next batch. Default 8192.
+	BatchSize int
+}
+
+func (o ReaderOptions) withDefaults() ReaderOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8192
+	}
+	return o
+}
+
+func (o ReaderOptions) filtered() bool { return o.To > o.From }
+
+// Reader streams an FDC1 file segment by segment, serving decoded
+// events in bounded batches. Peak memory is one decoded segment plus
+// the per-segment dictionaries; the full event slice is never
+// materialized.
+//
+// Metrics land in the obs registry traveling in the constructor's
+// context: counters colseg.segments.read / colseg.segments.pruned /
+// colseg.events.decoded and the span histogram span.colseg.decode.
+type Reader struct {
+	br    *bufio.Reader
+	reg   *obs.Registry
+	opts  ReaderOptions
+	start time.Duration
+	end   time.Duration
+	width time.Duration
+	seg   []flowlog.Event
+	pos   int
+	// names interns switch-name dictionary entries across segments, so
+	// a capture from N switches allocates N strings however many
+	// segments repeat them.
+	names map[string]string
+	done  bool
+	err   error
+}
+
+// NewReader is NewReaderContext with a background context.
+func NewReader(r io.Reader, opts ReaderOptions) (*Reader, error) {
+	return NewReaderContext(context.Background(), r, opts)
+}
+
+// NewReaderContext opens an FDC1 stream: the header is read and
+// validated immediately, events decode lazily per Next call.
+func NewReaderContext(ctx context.Context, r io.Reader, opts ReaderOptions) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("colseg: reading header: %w", err)
+	}
+	if string(hdr[0:4]) != fileMagic {
+		return nil, fmt.Errorf("colseg: bad magic %q", hdr[0:4])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("colseg: unsupported version %d", hdr[4])
+	}
+	if hdr[5] != numColumns {
+		return nil, fmt.Errorf("colseg: unexpected column count %d (want %d)", hdr[5], numColumns)
+	}
+	return &Reader{
+		br:    br,
+		reg:   obs.From(ctx),
+		opts:  opts.withDefaults(),
+		start: time.Duration(binary.BigEndian.Uint64(hdr[6:14])),
+		end:   time.Duration(binary.BigEndian.Uint64(hdr[14:22])),
+		width: time.Duration(binary.BigEndian.Uint64(hdr[22:30])),
+		names: make(map[string]string),
+	}, nil
+}
+
+// Bounds returns the log interval recorded in the file header.
+func (r *Reader) Bounds() (start, end time.Duration) { return r.start, r.end }
+
+// SegmentDuration returns the fixed time range the file was segmented by.
+func (r *Reader) SegmentDuration() time.Duration { return r.width }
+
+// Next returns the next batch of decoded events (at most BatchSize) and
+// io.EOF after the last one. The returned slice is only valid until the
+// next call. Errors other than io.EOF are terminal.
+func (r *Reader) Next() ([]flowlog.Event, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for r.pos >= len(r.seg) {
+		if r.done {
+			r.err = io.EOF
+			return nil, io.EOF
+		}
+		if err := r.nextSegment(); err != nil {
+			r.err = err
+			return nil, err
+		}
+	}
+	n := len(r.seg) - r.pos
+	if n > r.opts.BatchSize {
+		n = r.opts.BatchSize
+	}
+	batch := r.seg[r.pos : r.pos+n]
+	r.pos += n
+	return batch, nil
+}
+
+// nextSegment advances past end markers and pruned segments until one
+// segment has been decoded into r.seg (possibly empty after in-window
+// filtering) or the file ends (r.done).
+func (r *Reader) nextSegment() error {
+	var tag [4]byte
+	if _, err := io.ReadFull(r.br, tag[:]); err != nil {
+		return fmt.Errorf("colseg: reading segment tag: %w", err)
+	}
+	switch string(tag[:]) {
+	case endMagic:
+		r.done = true
+		r.seg, r.pos = nil, 0
+		return nil
+	case segMagic:
+	default:
+		return fmt.Errorf("colseg: bad segment tag %q", tag[:])
+	}
+
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(r.br, pre[:]); err != nil {
+		return fmt.Errorf("colseg: reading segment preamble: %w", err)
+	}
+	minT := time.Duration(binary.BigEndian.Uint64(pre[0:8]))
+	maxT := time.Duration(binary.BigEndian.Uint64(pre[8:16]))
+	count := binary.BigEndian.Uint32(pre[16:20])
+	payloadLen := binary.BigEndian.Uint32(pre[20:24])
+	if count == 0 || count > maxSegmentEvents {
+		return fmt.Errorf("colseg: implausible segment event count %d", count)
+	}
+	if payloadLen > maxPayloadLen {
+		return fmt.Errorf("colseg: implausible segment payload length %d", payloadLen)
+	}
+
+	if r.opts.filtered() && (maxT < r.opts.From || minT >= r.opts.To) {
+		// The whole segment is outside the window: prune it from
+		// metadata, skipping payload and footer without decoding.
+		if _, err := r.br.Discard(int(payloadLen) + footerLen); err != nil {
+			return fmt.Errorf("colseg: skipping pruned segment: %w", err)
+		}
+		r.reg.Counter("colseg.segments.pruned").Inc()
+		return nil
+	}
+
+	buf := make([]byte, int(payloadLen)+footerLen)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return fmt.Errorf("colseg: reading segment body: %w", err)
+	}
+	payload, footer := buf[:payloadLen], buf[payloadLen:]
+	wantCRC := binary.BigEndian.Uint32(footer[numColumns*4:])
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return fmt.Errorf("colseg: segment CRC mismatch: computed %08x, footer %08x", got, wantCRC)
+	}
+	var offs [numColumns]int
+	for i := range offs {
+		offs[i] = int(binary.BigEndian.Uint32(footer[i*4 : i*4+4]))
+		if offs[i] > len(payload) || (i > 0 && offs[i] < offs[i-1]) {
+			return fmt.Errorf("colseg: corrupt column offset table")
+		}
+	}
+
+	sp := r.reg.Span("colseg.decode")
+	evs, err := r.decodeSegment(payload, offs, int(count))
+	sp.End()
+	if err != nil {
+		return err
+	}
+	r.reg.Counter("colseg.segments.read").Inc()
+	r.reg.Counter("colseg.events.decoded").Add(int64(len(evs)))
+	if r.opts.filtered() {
+		kept := evs[:0]
+		for i := range evs {
+			if t := evs[i].Time; t >= r.opts.From && t < r.opts.To {
+				kept = append(kept, evs[i])
+			}
+		}
+		evs = kept
+	}
+	r.seg, r.pos = evs, 0
+	return nil
+}
+
+// column returns the cursor over one column's block.
+func column(payload []byte, offs [numColumns]int, i int) cursor {
+	end := len(payload)
+	if i+1 < numColumns {
+		end = offs[i+1]
+	}
+	return cursor{b: payload[:end], off: offs[i]}
+}
+
+func (r *Reader) decodeSegment(payload []byte, offs [numColumns]int, count int) ([]flowlog.Event, error) {
+	evs := make([]flowlog.Event, count)
+
+	c := column(payload, offs, columnTime)
+	prev := int64(0)
+	for i := range evs {
+		d, err := c.varint()
+		if err != nil {
+			return nil, fmt.Errorf("colseg: time column: %w", err)
+		}
+		prev += d
+		evs[i].Time = time.Duration(prev)
+	}
+
+	rle := func(col int, name string, set func(*flowlog.Event, byte)) error {
+		c := column(payload, offs, col)
+		for i := 0; i < count; {
+			run, err := c.uvarint()
+			if err != nil {
+				return fmt.Errorf("colseg: %s column: %w", name, err)
+			}
+			v, err := c.byte()
+			if err != nil {
+				return fmt.Errorf("colseg: %s column: %w", name, err)
+			}
+			if run == 0 || run > uint64(count-i) {
+				return fmt.Errorf("colseg: %s column: implausible run length %d", name, run)
+			}
+			for j := 0; j < int(run); j++ {
+				set(&evs[i+j], v)
+			}
+			i += int(run)
+		}
+		return nil
+	}
+	if err := rle(columnType, "type", func(e *flowlog.Event, v byte) { e.Type = flowlog.EventType(v) }); err != nil {
+		return nil, err
+	}
+	if err := rle(columnReason, "reason", func(e *flowlog.Event, v byte) { e.Reason = v }); err != nil {
+		return nil, err
+	}
+	if err := rle(columnProto, "proto", func(e *flowlog.Event, v byte) { e.Flow.Proto = v }); err != nil {
+		return nil, err
+	}
+
+	addrCol := func(col int, name string, set func(*flowlog.Event, netip.Addr)) error {
+		c := column(payload, offs, col)
+		n, err := c.uvarint()
+		if err != nil {
+			return fmt.Errorf("colseg: %s column: %w", name, err)
+		}
+		if n > uint64(count) {
+			return fmt.Errorf("colseg: %s column: implausible dictionary size %d", name, n)
+		}
+		dict := make([]netip.Addr, n)
+		for i := range dict {
+			b, err := c.bytes(4)
+			if err != nil {
+				return fmt.Errorf("colseg: %s column: %w", name, err)
+			}
+			if a4 := [4]byte(b); a4 != ([4]byte{}) {
+				dict[i] = netip.AddrFrom4(a4)
+			}
+		}
+		for i := range evs {
+			id, err := c.uvarint()
+			if err != nil {
+				return fmt.Errorf("colseg: %s column: %w", name, err)
+			}
+			if id >= uint64(len(dict)) {
+				return fmt.Errorf("colseg: %s column: dictionary index %d out of range", name, id)
+			}
+			set(&evs[i], dict[id])
+		}
+		return nil
+	}
+	if err := addrCol(columnSrc, "src", func(e *flowlog.Event, a netip.Addr) { e.Flow.Src = a }); err != nil {
+		return nil, err
+	}
+	if err := addrCol(columnDst, "dst", func(e *flowlog.Event, a netip.Addr) { e.Flow.Dst = a }); err != nil {
+		return nil, err
+	}
+
+	uvar := func(col int, name string, set func(*flowlog.Event, uint64)) error {
+		c := column(payload, offs, col)
+		for i := range evs {
+			v, err := c.uvarint()
+			if err != nil {
+				return fmt.Errorf("colseg: %s column: %w", name, err)
+			}
+			set(&evs[i], v)
+		}
+		return nil
+	}
+	if err := uvar(columnSrcPort, "srcPort", func(e *flowlog.Event, v uint64) { e.Flow.SrcPort = uint16(v) }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnDstPort, "dstPort", func(e *flowlog.Event, v uint64) { e.Flow.DstPort = uint16(v) }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnInPort, "inPort", func(e *flowlog.Event, v uint64) { e.InPort = uint16(v) }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnOutPort, "outPort", func(e *flowlog.Event, v uint64) { e.OutPort = uint16(v) }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnDPID, "dpid", func(e *flowlog.Event, v uint64) { e.DPID = v }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnBytes, "bytes", func(e *flowlog.Event, v uint64) { e.Bytes = v }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnPackets, "packets", func(e *flowlog.Event, v uint64) { e.Packets = v }); err != nil {
+		return nil, err
+	}
+	if err := uvar(columnFlowDur, "flowDuration", func(e *flowlog.Event, v uint64) { e.FlowDuration = time.Duration(v) }); err != nil {
+		return nil, err
+	}
+
+	c = column(payload, offs, columnSwitch)
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("colseg: switch column: %w", err)
+	}
+	if n > uint64(count) {
+		return nil, fmt.Errorf("colseg: switch column: implausible dictionary size %d", n)
+	}
+	sdict := make([]string, n)
+	for i := range sdict {
+		l, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("colseg: switch column: %w", err)
+		}
+		if l > maxNameLen {
+			return nil, fmt.Errorf("colseg: switch column: implausible name length %d", l)
+		}
+		b, err := c.bytes(int(l))
+		if err != nil {
+			return nil, fmt.Errorf("colseg: switch column: %w", err)
+		}
+		name, ok := r.names[string(b)]
+		if !ok {
+			name = string(b)
+			r.names[name] = name
+		}
+		sdict[i] = name
+	}
+	for i := range evs {
+		id, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("colseg: switch column: %w", err)
+		}
+		if id >= uint64(len(sdict)) {
+			return nil, fmt.Errorf("colseg: switch column: dictionary index %d out of range", id)
+		}
+		evs[i].Switch = sdict[id]
+	}
+
+	return evs, nil
+}
+
+// ReadAll drains the reader into an in-memory log covering the file's
+// recorded bounds (or the filter window when one is set).
+func (r *Reader) ReadAll() (*flowlog.Log, error) {
+	start, end := r.start, r.end
+	if r.opts.filtered() {
+		start, end = r.opts.From, r.opts.To
+	}
+	out := flowlog.New(start, end)
+	for {
+		batch, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Events = append(out.Events, batch...)
+	}
+}
+
+// Read eagerly deserializes a whole FDC1 stream, the columnar
+// counterpart of flowlog.ReadBinary.
+func Read(rd io.Reader) (*flowlog.Log, error) {
+	r, err := NewReader(rd, ReaderOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
+}

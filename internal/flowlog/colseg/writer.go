@@ -1,0 +1,277 @@
+package colseg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"flowdiff/internal/flowlog"
+)
+
+// Writer streams events into the FDC1 format. Events must arrive in
+// nondecreasing time order (the canonical state of a capture; Write
+// sorts unsorted logs before appending). A segment is cut whenever an
+// event crosses the current fixed time-range boundary or the per-segment
+// event cap is reached, so writer memory is bounded by one segment.
+type Writer struct {
+	bw     *bufio.Writer
+	start  time.Duration
+	end    time.Duration
+	opts   WriterOptions
+	events []flowlog.Event
+	// boundary is the exclusive time limit of the open segment: the next
+	// multiple of SegmentDuration past the segment's first event.
+	boundary time.Duration
+	last     time.Duration
+	n        int
+	closed   bool
+	scratch  []byte
+	seg      []byte
+}
+
+// NewWriter writes the file header for a log covering [start, end] and
+// returns a writer ready for Append.
+func NewWriter(w io.Writer, start, end time.Duration, opts WriterOptions) (*Writer, error) {
+	opts = opts.withDefaults()
+	bw := bufio.NewWriter(w)
+	var hdr [headerLen]byte
+	copy(hdr[0:4], fileMagic)
+	hdr[4] = formatVersion
+	hdr[5] = numColumns
+	binary.BigEndian.PutUint64(hdr[6:14], uint64(start))
+	binary.BigEndian.PutUint64(hdr[14:22], uint64(end))
+	binary.BigEndian.PutUint64(hdr[22:30], uint64(opts.SegmentDuration))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("colseg: writing header: %w", err)
+	}
+	return &Writer{bw: bw, start: start, end: end, opts: opts}, nil
+}
+
+// floorDiv is integer division rounding toward negative infinity, so
+// segment boundaries stay aligned for events before the declared start.
+func floorDiv(a, b time.Duration) time.Duration {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Append adds one event to the open segment, cutting a new segment at
+// time-range boundaries and at the event cap. Out-of-order events are
+// rejected: segmentation relies on time making forward progress.
+func (w *Writer) Append(e flowlog.Event) error {
+	if w.closed {
+		return fmt.Errorf("colseg: append after Close")
+	}
+	if w.n > 0 && e.Time < w.last {
+		return fmt.Errorf("colseg: out-of-order event at %v after %v", e.Time, w.last)
+	}
+	if len(e.Switch) > maxNameLen {
+		return fmt.Errorf("colseg: switch name %d bytes exceeds format cap", len(e.Switch))
+	}
+	if len(w.events) > 0 && (e.Time >= w.boundary || len(w.events) >= w.opts.MaxSegmentEvents) {
+		if err := w.flushSegment(); err != nil {
+			return err
+		}
+	}
+	if len(w.events) == 0 {
+		k := floorDiv(e.Time-w.start, w.opts.SegmentDuration)
+		w.boundary = w.start + (k+1)*w.opts.SegmentDuration
+	}
+	w.events = append(w.events, e)
+	w.last = e.Time
+	w.n++
+	return nil
+}
+
+// Close flushes the open segment and writes the end marker. The Writer
+// is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.events) > 0 {
+		if err := w.flushSegment(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.bw.WriteString(endMagic); err != nil {
+		return fmt.Errorf("colseg: writing end marker: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("colseg: flushing: %w", err)
+	}
+	return nil
+}
+
+// flushSegment encodes the buffered events as one segment and writes it.
+func (w *Writer) flushSegment() error {
+	evs := w.events
+	payload, offs := encodeColumns(evs, w.scratch[:0])
+	if len(payload) > maxPayloadLen {
+		return fmt.Errorf("colseg: segment payload %d bytes exceeds format cap", len(payload))
+	}
+
+	seg := w.seg[:0]
+	seg = append(seg, segMagic...)
+	seg = binary.BigEndian.AppendUint64(seg, uint64(evs[0].Time))
+	seg = binary.BigEndian.AppendUint64(seg, uint64(evs[len(evs)-1].Time))
+	seg = binary.BigEndian.AppendUint32(seg, uint32(len(evs)))
+	seg = binary.BigEndian.AppendUint32(seg, uint32(len(payload)))
+	seg = append(seg, payload...)
+	for _, off := range offs {
+		seg = binary.BigEndian.AppendUint32(seg, uint32(off))
+	}
+	seg = binary.BigEndian.AppendUint32(seg, crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(seg); err != nil {
+		return fmt.Errorf("colseg: writing segment: %w", err)
+	}
+
+	w.scratch = payload[:0]
+	w.seg = seg[:0]
+	w.events = w.events[:0]
+	return nil
+}
+
+// encodeColumns serializes one segment's events column by column into
+// buf, returning the payload and the start offset of each column.
+func encodeColumns(evs []flowlog.Event, buf []byte) ([]byte, [numColumns]int) {
+	var offs [numColumns]int
+
+	// time: zigzag varint of the delta from the previous event.
+	offs[columnTime] = len(buf)
+	prev := int64(0)
+	for i := range evs {
+		t := int64(evs[i].Time)
+		buf = binary.AppendVarint(buf, t-prev)
+		prev = t
+	}
+
+	// type / reason / proto: run-length encoded byte columns.
+	rle := func(get func(*flowlog.Event) byte) {
+		for i := 0; i < len(evs); {
+			v := get(&evs[i])
+			j := i + 1
+			for j < len(evs) && get(&evs[j]) == v {
+				j++
+			}
+			buf = binary.AppendUvarint(buf, uint64(j-i))
+			buf = append(buf, v)
+			i = j
+		}
+	}
+	offs[columnType] = len(buf)
+	rle(func(e *flowlog.Event) byte { return byte(e.Type) })
+	offs[columnReason] = len(buf)
+	rle(func(e *flowlog.Event) byte { return e.Reason })
+	offs[columnProto] = len(buf)
+	rle(func(e *flowlog.Event) byte { return e.Flow.Proto })
+
+	// src / dst: per-segment IPv4 dictionary + per-event index.
+	addrCol := func(get func(*flowlog.Event) netip.Addr) {
+		dict := make(map[[4]byte]int)
+		var order [][4]byte
+		idxs := make([]int, len(evs))
+		for i := range evs {
+			var a4 [4]byte
+			if a := get(&evs[i]); a.IsValid() {
+				a4 = a.As4()
+			}
+			id, ok := dict[a4]
+			if !ok {
+				id = len(order)
+				dict[a4] = id
+				order = append(order, a4)
+			}
+			idxs[i] = id
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(order)))
+		for _, a4 := range order {
+			buf = append(buf, a4[:]...)
+		}
+		for _, id := range idxs {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+	offs[columnSrc] = len(buf)
+	addrCol(func(e *flowlog.Event) netip.Addr { return e.Flow.Src })
+	offs[columnDst] = len(buf)
+	addrCol(func(e *flowlog.Event) netip.Addr { return e.Flow.Dst })
+
+	// Plain uvarint columns.
+	uvar := func(get func(*flowlog.Event) uint64) {
+		for i := range evs {
+			buf = binary.AppendUvarint(buf, get(&evs[i]))
+		}
+	}
+	offs[columnSrcPort] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return uint64(e.Flow.SrcPort) })
+	offs[columnDstPort] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return uint64(e.Flow.DstPort) })
+	offs[columnInPort] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return uint64(e.InPort) })
+	offs[columnOutPort] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return uint64(e.OutPort) })
+	offs[columnDPID] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return e.DPID })
+	offs[columnBytes] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return e.Bytes })
+	offs[columnPackets] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return e.Packets })
+	offs[columnFlowDur] = len(buf)
+	uvar(func(e *flowlog.Event) uint64 { return uint64(e.FlowDuration) })
+
+	// switch: per-segment string dictionary + per-event index.
+	offs[columnSwitch] = len(buf)
+	sdict := make(map[string]int)
+	var sorder []string
+	sidxs := make([]int, len(evs))
+	for i := range evs {
+		name := evs[i].Switch
+		id, ok := sdict[name]
+		if !ok {
+			id = len(sorder)
+			sdict[name] = id
+			sorder = append(sorder, name)
+		}
+		sidxs[i] = id
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(sorder)))
+	for _, name := range sorder {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
+	for _, id := range sidxs {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+
+	return buf, offs
+}
+
+// Write serializes a whole log in the FDC1 format. An unsorted log is
+// segmented from a time-sorted copy (stable, so same-instant events keep
+// their capture order); the on-disk event order is the sorted order.
+func Write(w io.Writer, log *flowlog.Log, opts WriterOptions) error {
+	cw, err := NewWriter(w, log.Start, log.End, opts)
+	if err != nil {
+		return err
+	}
+	events := log.Events
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].Time < events[j].Time }) {
+		events = append([]flowlog.Event(nil), events...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	}
+	for i := range events {
+		if err := cw.Append(events[i]); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}

@@ -18,12 +18,12 @@ while [ -e "bench_results/BENCH_${n}.json" ]; do n=$((n + 1)); done
 out="bench_results/BENCH_${n}.json"
 
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover|BenchmarkRankSuspects}"
+filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover|BenchmarkRankSuspects|BenchmarkReadColumnar|BenchmarkWriteColumnar|BenchmarkBuildFromReader|BenchmarkCompressionRatio}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" \
-	. ./internal/core/signature ./internal/core/taskmine ./internal/core/appgroup ./internal/core/diagnose | tee "$raw"
+	. ./internal/core/signature ./internal/core/taskmine ./internal/core/appgroup ./internal/core/diagnose ./internal/flowlog/colseg | tee "$raw"
 
 # Record the hardware parallelism the numbers were taken at: worker
 # clamping makes workers>GOMAXPROCS runs equivalent to serial, so a
@@ -49,6 +49,13 @@ BEGIN { printf "{\n  \"schema\": 2,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \
 	for (i = 3; i + 1 <= NF; i += 2) {
 		if (m != "") m = m ", "
 		m = m sprintf("\"%s\": %s", $(i + 1), $i)
+		# Surface the on-disk format sizes as a top-level compression
+		# object (FDC1 bytes/event plus its ratio vs FDL1 and JSON).
+		if (name ~ /^BenchmarkCompressionRatio/) {
+			if ($(i + 1) == "fdl1/fdc1-ratio") fdl1ratio = $i
+			if ($(i + 1) == "json/fdc1-ratio") jsonratio = $i
+			if ($(i + 1) == "fdc1-bytes/event") fdcbytes = $i
+		}
 	}
 	if (nbench > 0) benches = benches ",\n"
 	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
@@ -57,7 +64,10 @@ BEGIN { printf "{\n  \"schema\": 2,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \
 END {
 	# No suffix on any name means the runs executed at GOMAXPROCS=1.
 	if (gomaxprocs == "") gomaxprocs = (nbench > 0) ? 1 : 0
-	printf "  \"gomaxprocs\": %s,\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", gomaxprocs, cpu, benches
+	printf "  \"gomaxprocs\": %s,\n  \"cpu\": \"%s\",\n", gomaxprocs, cpu
+	if (fdl1ratio != "")
+		printf "  \"compression\": {\"fdc1_bytes_per_event\": %s, \"fdl1_over_fdc1\": %s, \"json_over_fdc1\": %s},\n", fdcbytes, fdl1ratio, jsonratio
+	printf "  \"benchmarks\": [\n%s\n  ]\n}\n", benches
 }' "$raw" > "$out"
 
 echo "wrote $out"

@@ -14,6 +14,10 @@ go vet ./...
 go run ./cmd/flowdifflint ./...
 go build ./...
 go test -race ./...
+# Decoder fuzz targets over their seed corpora (-run mode, no fuzzing
+# engine): corrupted or hostile captures must fail with wrapped errors,
+# never a panic or an unbounded allocation.
+go test -run '^Fuzz' ./internal/flowlog/...
 # Localization-accuracy smoke: the evidence-voting suspect ranker must
 # keep top-1 >= 80% and top-3 >= 95% across 10 seeds on each fabric
 # fault scenario, and strictly beat the change-count baseline on

@@ -1,0 +1,83 @@
+package flowdiff
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"flowdiff/internal/core/signature"
+	"flowdiff/internal/flowlog"
+	"flowdiff/internal/flowlog/colseg"
+	"flowdiff/internal/obs"
+)
+
+// Event is one control message observed at the controller.
+type Event = flowlog.Event
+
+// EventSource is a pull-based stream of decoded event batches — the
+// streaming counterpart of a materialized Log. colseg.Reader implements
+// it over the on-disk columnar format, so signatures can be built from
+// a 100M-event capture without ever holding its event slice in memory.
+type EventSource = signature.EventSource
+
+// NewColumnarSource is NewColumnarSourceContext with a background
+// context.
+func NewColumnarSource(r io.Reader) (EventSource, error) {
+	return NewColumnarSourceContext(context.Background(), r)
+}
+
+// NewColumnarSourceContext opens an FDC1 (segmented columnar) stream —
+// as written by `flowdiff convert -to columnar` — as an EventSource for
+// BuildSignaturesReaderContext. The header is validated immediately;
+// events decode lazily, one bounded batch at a time, with decode
+// metrics going to the context's obs registry.
+func NewColumnarSourceContext(ctx context.Context, r io.Reader) (EventSource, error) {
+	cr, err := colseg.NewReaderContext(ctx, r, colseg.ReaderOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: opening columnar log: %w", err)
+	}
+	return cr, nil
+}
+
+// BuildSignaturesReader is BuildSignaturesReaderContext with a
+// background context.
+func BuildSignaturesReader(src EventSource, opts Options) (*Signatures, error) {
+	return BuildSignaturesReaderContext(context.Background(), src, opts)
+}
+
+// BuildSignaturesReaderContext runs FlowDiff's modeling phase over a
+// streamed event source. The source is drained exactly once: flow
+// occurrences are extracted incrementally (sharded by flow-key hash
+// across the worker pool), and every other per-log aggregate the
+// builds need — including the per-interval slices for the stability
+// analysis, sized by Options.Stability — is folded in during the same
+// pass. Peak memory is one decoded batch plus the aggregates and
+// occurrences; the full event slice is never materialized.
+//
+// The result is byte-identical to BuildSignaturesContext over the same
+// events in memory (an unsorted log serializes to colseg in sorted
+// order; the equivalence is against that time-sorted sequence, which is
+// the canonical capture order). The returned Signatures carry an
+// event-free Log stub recording only the source's bounds.
+//
+// A nil or event-free source returns ErrEmptyLog; cancellation returns
+// ErrCanceled wrapping ctx.Err(); a source read error is returned
+// wrapped.
+func BuildSignaturesReaderContext(ctx context.Context, src EventSource, opts Options) (*Signatures, error) {
+	if src == nil {
+		return nil, fmt.Errorf("flowdiff: building signatures: %w", ErrEmptyLog)
+	}
+	defer obs.Span(ctx, "flowdiff.build").End()
+	p, err := signature.NewPipelineFromSourceContext(ctx, src, opts.resolver(), opts.sigConfig(), opts.Stability)
+	if err != nil {
+		if cerr := canceled(ctx); cerr != nil {
+			return nil, fmt.Errorf("flowdiff: building signatures: %w", cerr)
+		}
+		return nil, fmt.Errorf("flowdiff: building signatures: %w", err)
+	}
+	if p.EventCount() == 0 {
+		return nil, fmt.Errorf("flowdiff: building signatures: %w", ErrEmptyLog)
+	}
+	start, end := src.Bounds()
+	return signaturesFromPipeline(ctx, &Log{Start: start, End: end}, p, opts)
+}
