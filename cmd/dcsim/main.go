@@ -136,22 +136,32 @@ func run() error {
 		len(log.Events), log.Duration(), net.Dropped())
 
 	w := os.Stdout
+	var closeOut func() error
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = f
 	}
+	var werr error
 	switch *format {
 	case "json":
-		return log.WriteJSON(w)
+		werr = log.WriteJSON(w)
 	case "binary":
-		return log.WriteBinary(w)
+		werr = log.WriteBinary(w)
 	default:
-		return fmt.Errorf("unknown format %q", *format)
+		werr = fmt.Errorf("unknown format %q", *format)
 	}
+	if closeOut != nil {
+		// A failed close on the output file can drop the tail of the
+		// capture; it must not be masked by a successful write pass.
+		if cerr := closeOut(); werr == nil && cerr != nil {
+			werr = fmt.Errorf("closing %s: %w", *out, cerr)
+		}
+	}
+	return werr
 }
 
 func faultByName(name string) (faults.Injector, error) {

@@ -17,4 +17,17 @@ var (
 	// underlying ctx.Err(), so errors.Is(err, context.Canceled) (or
 	// DeadlineExceeded) also matches.
 	ErrCanceled = errors.New("canceled")
+	// ErrOutOfOrder reports a control event older than the monitor's
+	// current window: ObserveContext requires time-ordered input and
+	// refuses to rewrite history.
+	ErrOutOfOrder = errors.New("event out of order")
+	// ErrBadLog reports a malformed or unreadable flow-log stream:
+	// NewColumnarSourceContext returns it (wrapping the decoder's
+	// detail) when the columnar header or segment layout fails to
+	// validate.
+	ErrBadLog = errors.New("bad log")
+	// ErrScenario reports that constructing or executing a simulated
+	// scenario failed — lab topology, workload attachment, fault
+	// injection, or task execution. It wraps the underlying cause.
+	ErrScenario = errors.New("scenario failed")
 )

@@ -1,0 +1,56 @@
+package flowdiff
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"flowdiff/internal/flowlog"
+)
+
+// The public API's error contract (machine-checked by the sentinelerr
+// analyzer): every failure crossing an exported function carries a
+// sentinel identity from errors.go. These pin the three boundaries that
+// used to export identity-less errors.
+
+// An event older than the monitor's window must surface as
+// ErrOutOfOrder, not an anonymous fmt.Errorf.
+func TestObserveOutOfOrderSentinel(t *testing.T) {
+	baseline := flowlog.New(0, 2*time.Minute)
+	baseline.Events = monitorChainEvents(0, 2*time.Minute, 200*time.Millisecond)
+	m, err := NewMonitor(baseline, time.Minute, nil, Thresholds{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := monitorChainEvents(time.Minute, time.Minute+time.Second, 500*time.Millisecond)[0]
+	_, err = m.Observe(stale)
+	if err == nil {
+		t.Fatal("observing a pre-window event succeeded")
+	}
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("error %v does not match ErrOutOfOrder", err)
+	}
+}
+
+// A stream that is not a columnar log must surface as ErrBadLog.
+func TestColumnarSourceBadLogSentinel(t *testing.T) {
+	_, err := NewColumnarSource(strings.NewReader("definitely not an FDC1 stream"))
+	if err == nil {
+		t.Fatal("opening garbage as a columnar source succeeded")
+	}
+	if !errors.Is(err, ErrBadLog) {
+		t.Errorf("error %v does not match ErrBadLog", err)
+	}
+}
+
+// A scenario that cannot be constructed must surface as ErrScenario.
+func TestRunScenarioSentinel(t *testing.T) {
+	_, err := RunScenario(Scenario{Case: 99})
+	if err == nil {
+		t.Fatal("running an unknown case succeeded")
+	}
+	if !errors.Is(err, ErrScenario) {
+		t.Errorf("error %v does not match ErrScenario", err)
+	}
+}

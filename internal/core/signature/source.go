@@ -225,6 +225,7 @@ func NewPipelineFromSourceContext(ctx context.Context, src EventSource, r *appgr
 	scfg = scfg.withDefaults()
 	start, end := src.Bounds()
 	agg := newSourceAgg(start, end, scfg.Intervals)
+	//lint:ignore obsspan same logical stage as the in-memory pipeline's extract; a build runs exactly one of the two paths, and the name must stay stable for timeline consumers
 	sp := obs.Span(ctx, "signature.extract")
 	occs, err := extractFromSource(ctx, src, agg, r, cfg)
 	sp.End()

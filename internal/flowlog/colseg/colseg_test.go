@@ -222,12 +222,12 @@ func TestReaderCorruption(t *testing.T) {
 
 	segStart := headerLen // first segment tag offset
 	mutants := map[string]func([]byte) []byte{
-		"empty":             func(b []byte) []byte { return nil },
-		"bad file magic":    func(b []byte) []byte { b[0] = 'X'; return b },
-		"bad version":       func(b []byte) []byte { b[4] = 99; return b },
-		"bad column count":  func(b []byte) []byte { b[5] = numColumns + 3; return b },
-		"truncated header":  func(b []byte) []byte { return b[:headerLen-5] },
-		"bad segment tag":   func(b []byte) []byte { b[segStart] = 'Q'; return b },
+		"empty":            func(b []byte) []byte { return nil },
+		"bad file magic":   func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":      func(b []byte) []byte { b[4] = 99; return b },
+		"bad column count": func(b []byte) []byte { b[5] = numColumns + 3; return b },
+		"truncated header": func(b []byte) []byte { return b[:headerLen-5] },
+		"bad segment tag":  func(b []byte) []byte { b[segStart] = 'Q'; return b },
 		"truncated preamble": func(b []byte) []byte {
 			return b[:segStart+4+preambleLen-2]
 		},

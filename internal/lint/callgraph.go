@@ -1,0 +1,174 @@
+// The module call graph over the fact store. Edges come from three
+// sources: statically resolved calls (direct, method, deferred),
+// function-value references (method values and functions passed as
+// arguments — conservatively treated as called), and interface calls
+// expanded structurally: an interface call edge goes to the matching
+// method of every analyzed type whose method set covers the
+// interface's full method set by name and package-qualified signature.
+// Structural matching keeps resolution independent of the loader's
+// per-package type universes.
+package lint
+
+import "sort"
+
+// Graph is the resolved call graph.
+type Graph struct {
+	facts *Facts
+	// edges maps caller to sorted callee IDs (in-set and out-of-set).
+	edges map[FuncID][]FuncID
+	// needsCtx memoizes NeedsCtx (0 unknown, 1 visiting/false, 2 true,
+	// 3 false).
+	needsCtx map[FuncID]int8
+}
+
+// NewGraph builds the graph, expanding interface calls against the
+// module's type facts.
+func NewGraph(f *Facts) *Graph {
+	g := &Graph{
+		facts:    f,
+		edges:    make(map[FuncID][]FuncID),
+		needsCtx: make(map[FuncID]int8),
+	}
+	allTypes := f.Types()
+	for _, s := range f.Funcs() {
+		seen := make(map[FuncID]bool)
+		var out []FuncID
+		add := func(id FuncID) {
+			if id != "" && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		for i := range s.Calls {
+			c := &s.Calls[i]
+			if c.Iface != nil {
+				for _, impl := range resolveIface(allTypes, c.Iface) {
+					add(impl)
+				}
+				continue
+			}
+			add(c.Callee)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		g.edges[s.ID] = out
+	}
+	return g
+}
+
+// resolveIface returns the FuncIDs of every analyzed type's method
+// matching the interface call, for types that structurally implement
+// the full interface.
+func resolveIface(allTypes []*TypeFacts, call *IfaceCall) []FuncID {
+	var out []FuncID
+	for _, tf := range allTypes {
+		ok := true
+		for _, m := range call.MethodSet {
+			tm, has := tf.Methods[m.Name]
+			if !has || tm.Sig != m.Sig {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if tm, has := tf.Methods[call.Method]; has {
+			out = append(out, tm.ID)
+		}
+	}
+	return out
+}
+
+// Callees returns the sorted outgoing edges of id.
+func (g *Graph) Callees(id FuncID) []FuncID {
+	return g.edges[id]
+}
+
+// Reachable returns every function reachable from the roots (roots
+// included, when they exist in the fact store), following only edges
+// into summarized functions.
+func (g *Graph) Reachable(roots ...FuncID) map[FuncID]bool {
+	seen := make(map[FuncID]bool)
+	var stack []FuncID
+	for _, r := range roots {
+		if g.facts.Func(r) != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range g.edges[id] {
+			if seen[callee] || g.facts.Func(callee) == nil {
+				continue
+			}
+			seen[callee] = true
+			stack = append(stack, callee)
+		}
+	}
+	return seen
+}
+
+// NeedsCtx reports whether calling id from a context-carrying function
+// drops that context: id has no context parameter of its own, yet it
+// (or an in-set context-less callee, transitively) roots a fresh
+// context.Background()/TODO() into a context-accepting function. The
+// stored-in-a-struct-field plumbing pattern does not count — there the
+// context was supplied at construction. Cycles resolve to false
+// (optimistic: a cycle with no Background root drops nothing).
+func (g *Graph) NeedsCtx(id FuncID) bool {
+	switch g.needsCtx[id] {
+	case 2:
+		return true
+	case 1, 3:
+		return false
+	}
+	s := g.facts.Func(id)
+	if s == nil || s.HasCtxParam {
+		g.needsCtx[id] = 3
+		return false
+	}
+	g.needsCtx[id] = 1 // visiting
+	result := false
+	for i := range s.Calls {
+		c := &s.Calls[i]
+		if c.CalleeHasCtx && c.CtxArg == CtxArgBackground {
+			result = true
+			break
+		}
+		if !c.CalleeHasCtx && c.Callee != "" && g.facts.Func(c.Callee) != nil {
+			if g.NeedsCtx(c.Callee) {
+				result = true
+				break
+			}
+		}
+	}
+	if result {
+		g.needsCtx[id] = 2
+	} else {
+		g.needsCtx[id] = 3
+	}
+	return result
+}
+
+// CtxRoot returns one Background-rooting function explaining why
+// NeedsCtx(id) is true: id itself when it constructs the Background
+// context, else the first callee on a dropping path. Returns "" when
+// NeedsCtx(id) is false.
+func (g *Graph) CtxRoot(id FuncID) FuncID {
+	if !g.NeedsCtx(id) {
+		return ""
+	}
+	s := g.facts.Func(id)
+	for i := range s.Calls {
+		c := &s.Calls[i]
+		if c.CalleeHasCtx && c.CtxArg == CtxArgBackground {
+			return id
+		}
+		if !c.CalleeHasCtx && c.Callee != "" && g.facts.Func(c.Callee) != nil && g.NeedsCtx(c.Callee) {
+			return g.CtxRoot(c.Callee)
+		}
+	}
+	return id
+}

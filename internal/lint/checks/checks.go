@@ -19,6 +19,11 @@ func All() []*lint.Analyzer {
 		FloatCmp,
 		LockSafe,
 		ErrCheck,
+		CtxFlow,
+		SentinelErr,
+		SpawnJoin,
+		ObsSpan,
+		DetOrder,
 	}
 }
 

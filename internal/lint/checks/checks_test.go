@@ -56,6 +56,85 @@ func TestErrCheckScopedToEntryPoints(t *testing.T) {
 	linttest.RunExpectNone(t, "testdata/src/errcheck", "flowdiff/internal/stats/errpkg", checks.ErrCheck)
 }
 
+func TestErrCheckDeferredInFlowlog(t *testing.T) {
+	linttest.Run(t, "testdata/src/errcheck_defer", "flowdiff/internal/flowlog/deferpkg", checks.ErrCheck)
+}
+
+func TestErrCheckDeferredInEntryPoints(t *testing.T) {
+	linttest.Run(t, "testdata/src/errcheck_defer", "flowdiff/cmd/deferpkg", checks.ErrCheck)
+}
+
+func TestErrCheckDeferredOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/errcheck_defer", "flowdiff/internal/stats/deferpkg", checks.ErrCheck)
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxflow", "flowdiff/internal/ctxfix", checks.CtxFlow)
+}
+
+// cmd/ and examples are where root contexts belong: out of scope.
+func TestCtxFlowScopedToLibraryCode(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/ctxflow", "flowdiff/cmd/ctxfix", checks.CtxFlow)
+}
+
+func TestSentinelErr(t *testing.T) {
+	linttest.Run(t, "testdata/src/sentinelerr", "flowdiff", checks.SentinelErr)
+}
+
+// The sentinel contract binds the public boundary only — the exact
+// root package path, not internal packages.
+func TestSentinelErrScopedToRootPackage(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/sentinelerr", "flowdiff/internal/rootfix", checks.SentinelErr)
+}
+
+func TestSpawnJoin(t *testing.T) {
+	linttest.Run(t, "testdata/src/spawnjoin", "flowdiff/internal/sjfix", checks.SpawnJoin)
+}
+
+func TestSpawnJoinScopedToProductionTree(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/spawnjoin", "flowdiff/examples/sjfix", checks.SpawnJoin)
+}
+
+func TestObsSpan(t *testing.T) {
+	saved := checks.ObsSpanRoots
+	checks.ObsSpanRoots = map[string][]string{
+		"flowdiff/internal/obsfix.GoodContext": {"fix.good", "fix.stage"},
+		"flowdiff/internal/obsfix.BareContext": {"fix.bare", "fix.missing"},
+	}
+	defer func() { checks.ObsSpanRoots = saved }()
+	linttest.RunMulti(t, []linttest.TestPackage{
+		{Dir: "testdata/src/obsfake", Path: "flowdiff/internal/obs"},
+		{Dir: "testdata/src/obsspan", Path: "flowdiff/internal/obsfix"},
+	}, checks.ObsSpan)
+}
+
+// Span detection matches the registry's full import path: the same
+// shapes against an obs stand-in at a foreign path stay silent.
+func TestObsSpanMatchesRealRegistryPathOnly(t *testing.T) {
+	linttest.RunMulti(t, []linttest.TestPackage{
+		{Dir: "testdata/src/obsfake", Path: "example.com/obs"},
+		{Dir: "testdata/src/obsspan_outofscope", Path: "example.com/obsfix"},
+	}, checks.ObsSpan)
+}
+
+func TestDetOrder(t *testing.T) {
+	saved := checks.DetOrderRoots
+	checks.DetOrderRoots = []string{
+		"flowdiff/internal/dofix.Root",
+		"flowdiff/internal/dofix.SortedRoot",
+		"flowdiff/internal/dofix.Consume",
+		"flowdiff/internal/dofix.FieldRoot",
+	}
+	defer func() { checks.DetOrderRoots = saved }()
+	linttest.Run(t, "testdata/src/detorder", "flowdiff/internal/dofix", checks.DetOrder)
+}
+
+// With the real root table (none of which exist in the fixture) the
+// whole package sits outside every root's cone: silent.
+func TestDetOrderQuietOutsideRootCones(t *testing.T) {
+	linttest.RunExpectNone(t, "testdata/src/detorder", "flowdiff/internal/dofix", checks.DetOrder)
+}
+
 // The whole suite over every testdata package at once must reproduce
 // exactly the union of the golden diagnostics — analyzers must not
 // interfere with each other.

@@ -1,0 +1,83 @@
+package checks
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"flowdiff/internal/lint"
+)
+
+// SentinelErr guards the public error contract: every error that crosses
+// an exported function of the root flowdiff package must carry a stable
+// errors.Is identity — one of the package sentinels from errors.go,
+// wrapped via fmt.Errorf's %w verb. The check is interprocedural: a
+// return that merely propagates a callee's error is fine exactly when
+// the fact store proves the callee (transitively) wraps a sentinel; an
+// ad-hoc errors.New, a fmt.Errorf without %w, or a propagation from an
+// in-module callee with no sentinel anywhere in its chain is flagged at
+// the return that exports it.
+//
+// Errors originating outside the module (stdlib, I/O) are trusted at
+// the fact level; the boundary wrap in the root package is where the
+// flowdiff identity must be attached.
+var SentinelErr = &lint.Analyzer{
+	Name:          "sentinelerr",
+	Doc:           "flags errors crossing exported flowdiff functions without wrapping a sentinel from errors.go via %w",
+	SkipTestFiles: true,
+	NeedsFacts:    true,
+	Run:           runSentinelErr,
+}
+
+func runSentinelErr(pass *lint.Pass) {
+	if pass.Pkg == nil || pass.Pkg.Path() != "flowdiff" || pass.Facts == nil {
+		return
+	}
+	pf := pass.Facts.Package(pass.Pkg.Path())
+	if pf == nil {
+		return
+	}
+	ids := make([]string, 0, len(pf.Funcs))
+	for id := range pf.Funcs {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := pf.Funcs[lint.FuncID(id)]
+		if !s.Exported || !s.ReturnsError || !exportedReceiver(string(s.ID)) {
+			continue
+		}
+		for _, r := range s.ErrReturns {
+			switch r.Kind {
+			case lint.ErrReturnUnwrapped:
+				pass.Reportf(r.Pos, "error without a sentinel identity crosses the public API (%s); wrap a sentinel from errors.go via %%w", r.Desc)
+			case lint.ErrReturnDeps:
+				for _, dep := range r.Deps {
+					ds := pass.Facts.Func(dep)
+					if ds == nil || ds.SentinelWrapped {
+						continue
+					}
+					pass.Reportf(r.Pos, "error propagated from %s crosses the public API without a sentinel identity; wrap a sentinel from errors.go via %%w", dep)
+					break
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a FuncID's receiver type (when it is
+// a method) is exported; plain functions always are at this point.
+func exportedReceiver(id string) bool {
+	if !strings.HasPrefix(id, "(") {
+		return true
+	}
+	end := strings.IndexByte(id, ')')
+	if end < 0 {
+		return true
+	}
+	recv := id[1:end] // "*pkg/path.T" or "pkg/path.T"
+	if dot := strings.LastIndexByte(recv, '.'); dot >= 0 {
+		recv = recv[dot+1:]
+	}
+	return ast.IsExported(recv)
+}

@@ -1,0 +1,55 @@
+// Seeds for the ctxflow analyzer: fresh root contexts in library code
+// and ctx-carrying functions that call context-dropping wrappers.
+package ctxfix
+
+import "context"
+
+func sink(ctx context.Context) error { return ctx.Err() }
+
+// DoContext is the proper ctx-threading entry point.
+func DoContext(ctx context.Context) error { return sink(ctx) }
+
+// Do is the documented wrapper idiom: Background passed directly to the
+// *Context variant from a function with no ctx of its own. Allowed.
+func Do() error { return DoContext(context.Background()) }
+
+// Drop has a ctx in scope and constructs another one anyway.
+func Drop(ctx context.Context) error {
+	return sink(context.Background()) // want "constructed while a ctx parameter is in scope"
+}
+
+// DropInClosure: the closure itself has no ctx parameter, but the
+// enclosing function does — still a dropped context.
+func DropInClosure(ctx context.Context) error {
+	f := func() error {
+		return sink(context.Background()) // want "constructed while a ctx parameter is in scope"
+	}
+	return f()
+}
+
+// Stash roots a context outside the wrapper-argument position.
+func Stash() context.Context {
+	c := context.TODO() // want "in library code outside the wrapper idiom"
+	return c
+}
+
+// Indirect carries a ctx but calls the context-less wrapper, dropping it.
+func Indirect(ctx context.Context) error {
+	return Do() // want "call to Do drops ctx: it roots its own context"
+}
+
+// hop is context-less and reaches Do's Background root transitively.
+func hop() error { return Do() }
+
+// Deep carries a ctx and drops it through the chain hop -> Do.
+func Deep(ctx context.Context) error {
+	return hop() // want "call to hop drops ctx: it reaches flowdiff/internal/ctxfix.Do, which roots"
+}
+
+// Threaded plumbs its ctx everywhere: clean.
+func Threaded(ctx context.Context) error {
+	if err := sink(ctx); err != nil {
+		return err
+	}
+	return DoContext(ctx)
+}

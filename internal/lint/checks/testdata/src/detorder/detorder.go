@@ -1,0 +1,62 @@
+// Seeds for the detorder analyzer: map-iteration order crossing
+// function boundaries on paths reachable from determinism roots. The
+// root list is swapped in by the test.
+package dofix
+
+import "sort"
+
+// keys returns map keys in iteration order (the fact the analyzer
+// follows interprocedurally; mapiter flags the append site itself).
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Root returns the map-ordered result unsorted: the order reaches the
+// root's own output.
+func Root(m map[string]int) []string {
+	return keys(m) // want "map-iteration order reaches the output of determinism root"
+}
+
+// SortedRoot rinses the order before returning: clean.
+func SortedRoot(m map[string]int) []string {
+	ks := keys(m)
+	sort.Strings(ks)
+	return ks
+}
+
+// Consume folds the map-ordered slice into its result without sorting.
+func Consume(m map[string]int) string {
+	ks := keys(m) // want "result of flowdiff/internal/dofix.keys is in map-iteration order"
+	out := ""
+	for _, k := range ks {
+		out += k
+	}
+	return out
+}
+
+type report struct{ items []string }
+
+// fill appends to a struct field inside map iteration — the emission
+// mapiter's ident-only check cannot see.
+func fill(r *report, m map[string]int) {
+	for k := range m {
+		r.items = append(r.items, k) // want "append to field \"items\" inside map iteration"
+	}
+}
+
+// FieldRoot reaches fill.
+func FieldRoot(m map[string]int) []string {
+	var r report
+	fill(&r, m)
+	return r.items
+}
+
+// unreachable is outside every root's cone: detorder stays quiet even
+// though the order fact holds (mapiter would still flag keys itself).
+func unreachable(m map[string]int) []string {
+	return keys(m)
+}

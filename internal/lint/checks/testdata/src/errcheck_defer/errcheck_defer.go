@@ -1,0 +1,95 @@
+// Seeds for the deferred-discard extension of errcheck: closes of
+// write-side resources must not drop their error, while read-side
+// closes stay conventional.
+package deferpkg
+
+import (
+	"bufio"
+	"net"
+	"os"
+)
+
+// WriteOut defers Close on a file opened for writing: the close carries
+// the final flush.
+func WriteOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error returned by deferred f.Close is discarded"
+	_, err = f.WriteString("x")
+	return err
+}
+
+// AppendOut goes through os.OpenFile: same write-side binding.
+func AppendOut(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error returned by deferred f.Close is discarded"
+	_, err = f.WriteString("x")
+	return err
+}
+
+// ReadIn defers Close on a read-only file: exempt, nothing buffered.
+func ReadIn(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return err
+}
+
+// Buffered defers Flush on a bufio.Writer.
+func Buffered(f *os.File) {
+	bw := bufio.NewWriter(f)
+	defer bw.Flush() // want "error returned by deferred bw.Flush is discarded"
+	_, _ = bw.WriteString("x")
+}
+
+// SegWriter mimics the flow-log segment writer: an in-module type whose
+// Close finalizes buffered output.
+type SegWriter struct{}
+
+// Close pretends to flush.
+func (w *SegWriter) Close() error { return nil }
+
+// Segment defers Close on the in-module writer.
+func Segment() {
+	w := &SegWriter{}
+	defer w.Close() // want "error returned by deferred w.Close is discarded"
+}
+
+// SegReader is the read-side counterpart: exempt by name.
+type SegReader struct{}
+
+// Close has nothing to flush.
+func (r *SegReader) Close() error { return nil }
+
+// ReadSegment defers Close on the in-module reader: exempt.
+func ReadSegment() {
+	r := &SegReader{}
+	defer r.Close()
+}
+
+// Conn closes a connection: not a buffered write-side resource.
+func Conn(c net.Conn) {
+	defer c.Close()
+}
+
+// Explicit closes with the error checked: no defer, no finding.
+func Explicit(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

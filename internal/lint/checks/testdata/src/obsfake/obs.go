@@ -1,0 +1,26 @@
+// Package obs is a minimal stand-in for flowdiff/internal/obs, loaded
+// under that import path so the summary layer's span detection (which
+// matches obs.Span and Registry.Span by FullName) fires in goldens.
+// The bodies deliberately do not forward to each other: the stand-in
+// must not open spans of its own.
+package obs
+
+import "context"
+
+// SpanTimer mimics the real span handle.
+type SpanTimer struct{}
+
+// End stops the timer.
+func (t *SpanTimer) End() {}
+
+// Registry mimics the real metrics registry.
+type Registry struct{}
+
+// Span starts a stage timer.
+func (r *Registry) Span(name string) *SpanTimer { return &SpanTimer{} }
+
+// From extracts the context's registry.
+func From(ctx context.Context) *Registry { return &Registry{} }
+
+// Span starts a stage timer against the context's registry.
+func Span(ctx context.Context, name string) *SpanTimer { return &SpanTimer{} }

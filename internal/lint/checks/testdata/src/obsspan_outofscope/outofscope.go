@@ -1,0 +1,24 @@
+// The span detection matches obs.Span by full import path: the same
+// shapes against an obs stand-in at a foreign path must stay silent.
+package obsfix
+
+import (
+	"context"
+
+	"example.com/obs"
+)
+
+// Dynamic would be a finding if example.com/obs were the real registry.
+func Dynamic(ctx context.Context, name string) {
+	defer obs.Span(ctx, name).End()
+}
+
+// DupA opens the same name as DupB.
+func DupA(ctx context.Context) {
+	defer obs.Span(ctx, "foreign.same").End()
+}
+
+// DupB duplicates DupA.
+func DupB(ctx context.Context) {
+	defer obs.Span(ctx, "foreign.same").End()
+}

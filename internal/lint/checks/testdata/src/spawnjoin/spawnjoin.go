@@ -1,0 +1,108 @@
+// Seeds for the spawnjoin analyzer: go statements with and without a
+// provable join.
+package sjfix
+
+import "sync"
+
+func worker() {}
+
+// Named spawns a function the analyzer cannot see into.
+func Named() {
+	go worker() // want "go statement calls a named function"
+}
+
+// Balanced is the canonical Add-before / Done-inside / Wait-after shape.
+func Balanced(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// PointerWG joins through a *sync.WaitGroup: same proof.
+func PointerWG() {
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// NoWait never waits after the spawn.
+func NoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine has no provable join"
+		defer wg.Done()
+	}()
+}
+
+// NoAdd waits on a counter nothing incremented before the spawn.
+func NoAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "goroutine has no provable join"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Drained joins through a channel receive.
+func Drained() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Ranged joins through close + range.
+func Ranged() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Undrained sends on a channel the spawner never receives from.
+func Undrained() chan int {
+	ch := make(chan int)
+	go func() { ch <- 1 }() // want "goroutine has no provable join"
+	return ch
+}
+
+// Server spawns in Serve and joins in Close: the field-held WaitGroup
+// proof spans functions.
+type Server struct{ wg sync.WaitGroup }
+
+// Serve spawns the worker goroutine.
+func (s *Server) Serve() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// Close joins it.
+func (s *Server) Close() {
+	s.wg.Wait()
+}
+
+// Leaky has a field WaitGroup that nothing ever waits on.
+type Leaky struct{ wg sync.WaitGroup }
+
+// Spawn has an Add and a Done but no Wait anywhere in the package.
+func (l *Leaky) Spawn() {
+	l.wg.Add(1)
+	go func() { // want "goroutine has no provable join"
+		defer l.wg.Done()
+	}()
+}

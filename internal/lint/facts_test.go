@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"testing"
+)
+
+const (
+	leafPath = "flowdifflint-testdata/facts/leaf"
+	rootPath = "flowdifflint-testdata/facts/root"
+)
+
+// loadFixture loads the two-package facts fixture (leaf first, so root
+// can import it by its pretend path).
+func loadFixture(t *testing.T) (leaf, root *Package) {
+	t.Helper()
+	l := NewLoader()
+	var err error
+	leaf, err = l.LoadDir("testdata/src/facts/leaf", leafPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaf.TypeErrors) > 0 {
+		t.Fatalf("leaf does not type-check: %v", leaf.TypeErrors[0])
+	}
+	root, err = l.LoadDir("testdata/src/facts/root", rootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.TypeErrors) > 0 {
+		t.Fatalf("root does not type-check: %v", root.TypeErrors[0])
+	}
+	return leaf, root
+}
+
+// Facts must come out identical whichever order the packages are
+// passed in: BuildFacts owns the dependency sort.
+func TestFactPropagationOrder(t *testing.T) {
+	leaf, root := loadFixture(t)
+	for name, pkgs := range map[string][]*Package{
+		"deps-first": {leaf, root},
+		"deps-last":  {root, leaf},
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := BuildFacts(pkgs)
+			order := f.PackageOrder()
+			if len(order) != 2 || order[0] != leafPath || order[1] != rootPath {
+				t.Fatalf("package order = %v, want [%s %s]", order, leafPath, rootPath)
+			}
+			assertFixtureFacts(t, f)
+		})
+	}
+}
+
+func assertFixtureFacts(t *testing.T, f *Facts) {
+	t.Helper()
+	mapOrdered := map[string]bool{
+		leafPath + ".Keys":        true,
+		leafPath + ".SortedKeys":  false,
+		rootPath + ".PassThrough": true,
+		rootPath + ".Rinsed":      false,
+		rootPath + ".Relay":       true,
+	}
+	for id, want := range mapOrdered {
+		s := f.Func(FuncID(id))
+		if s == nil {
+			t.Fatalf("no summary for %s", id)
+		}
+		if s.MapOrderedReturn != want {
+			t.Errorf("MapOrderedReturn(%s) = %v, want %v", id, s.MapOrderedReturn, want)
+		}
+	}
+	wrapped := map[string]bool{
+		leafPath + ".Fail":    true,
+		leafPath + ".Bad":     false,
+		rootPath + ".Wraps":   true,
+		rootPath + ".BadWrap": false,
+	}
+	for id, want := range wrapped {
+		s := f.Func(FuncID(id))
+		if s == nil {
+			t.Fatalf("no summary for %s", id)
+		}
+		if s.SentinelWrapped != want {
+			t.Errorf("SentinelWrapped(%s) = %v, want %v", id, s.SentinelWrapped, want)
+		}
+	}
+}
+
+// The interface call in root.CallIface must resolve structurally to
+// the one module implementer, across the package boundary.
+func TestInterfaceCallResolution(t *testing.T) {
+	leaf, root := loadFixture(t)
+	f := BuildFacts([]*Package{root, leaf}) // worst-case input order
+	g := NewGraph(f)
+	callees := g.Callees(FuncID(rootPath + ".CallIface"))
+	want := FuncID("(" + leafPath + ".Dev).Emit")
+	found := false
+	for _, c := range callees {
+		if c == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CallIface callees = %v, want to include %s", callees, want)
+	}
+	// And the resolved edge makes the implementation reachable.
+	reach := g.Reachable(FuncID(rootPath + ".CallIface"))
+	if !reach[want] {
+		t.Errorf("Dev.Emit not reachable from CallIface: %v", reach)
+	}
+}
+
+// NeedsCtx must see leaf.Wrapper's fresh Background root through
+// root.Indirect's context-less chain, and stay quiet for functions
+// that plumb or accept contexts properly.
+func TestNeedsCtxPropagation(t *testing.T) {
+	leaf, root := loadFixture(t)
+	g := NewGraph(BuildFacts([]*Package{leaf, root}))
+	cases := map[string]bool{
+		leafPath + ".Wrapper":  true,
+		rootPath + ".Indirect": true,
+		leafPath + ".DoCtx":    false, // has its own ctx param
+		leafPath + ".Keys":     false,
+		rootPath + ".Wraps":    false,
+	}
+	for id, want := range cases {
+		if got := g.NeedsCtx(FuncID(id)); got != want {
+			t.Errorf("NeedsCtx(%s) = %v, want %v", id, got, want)
+		}
+	}
+	if root := g.CtxRoot(FuncID(rootPath + ".Indirect")); root != FuncID(leafPath+".Wrapper") {
+		t.Errorf("CtxRoot(Indirect) = %s, want %s.Wrapper", root, leafPath)
+	}
+}

@@ -9,10 +9,70 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 const ignorePrefix = "//lint:ignore"
+
+// A Directive is one parsed //lint:ignore comment, surfaced by the
+// -ignores audit mode so suppressions stay reviewable instead of
+// accreting silently.
+type Directive struct {
+	File      string
+	Line      int
+	Inline    bool     // shares its line with the code it suppresses
+	Analyzers []string // names before the reason; empty when malformed
+	Reason    string
+	Malformed bool
+}
+
+// CollectDirectives parses every //lint:ignore directive in pkgs,
+// sorted by file then line. Files shared between packages (none today,
+// but test overlays can alias them) are deduplicated.
+func CollectDirectives(pkgs []*Package) []Directive {
+	var out []Directive
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			codeLines := codeLineSet(pkg.Fset, f)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d := Directive{File: pos.Filename, Line: pos.Line, Inline: codeLines[pos.Line]}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						d.Malformed = true
+					} else {
+						for _, name := range strings.Split(fields[0], ",") {
+							if name = strings.TrimSpace(name); name != "" {
+								d.Analyzers = append(d.Analyzers, name)
+							}
+						}
+						d.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
 
 type ignoreDirective struct {
 	file      string
@@ -52,20 +112,7 @@ func (s *ignoreSet) suppresses(d Diagnostic) bool {
 func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
 	set := &ignoreSet{}
 	for _, f := range files {
-		codeLines := make(map[int]bool)
-		ast.Inspect(f, func(n ast.Node) bool {
-			if n == nil {
-				return false
-			}
-			if _, isComment := n.(*ast.Comment); isComment {
-				return true
-			}
-			if _, isGroup := n.(*ast.CommentGroup); isGroup {
-				return true
-			}
-			codeLines[fset.Position(n.Pos()).Line] = true
-			return true
-		})
+		codeLines := codeLineSet(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
@@ -100,6 +147,26 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
 		}
 	}
 	return set
+}
+
+// codeLineSet returns the set of lines on which a non-comment node
+// starts, used to tell inline directives from whole-line ones.
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return true
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return codeLines
 }
 
 // nextStatementExtent finds the statement or declaration whose first line

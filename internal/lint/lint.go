@@ -18,6 +18,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant check.
@@ -30,6 +31,11 @@ type Analyzer struct {
 	// whose violations are idiomatic in tests (exact expected-value float
 	// comparisons, deliberately discarded errors) set this.
 	SkipTestFiles bool
+	// NeedsFacts: the analyzer consumes the module-wide fact store
+	// (function summaries + call graph). The driver builds the store
+	// once per run, before any analyzer executes, and hands it to every
+	// pass via Pass.Facts/Pass.Graph.
+	NeedsFacts bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -41,6 +47,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts and Graph are non-nil when the analyzer sets NeedsFacts:
+	// the summaries of every loaded package and the resolved call graph
+	// over them.
+	Facts *Facts
+	Graph *Graph
 
 	report func(Diagnostic)
 }
@@ -87,12 +98,47 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
 }
 
+// An AnalyzerTiming is one analyzer's cumulative wall time across every
+// package in a run. The pseudo-entry "(facts)" reports the one-time
+// summary + call-graph build shared by every facts-consuming analyzer.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run applies every analyzer to every package, filters the findings
 // through the packages' ignore directives, and returns them sorted by
 // position. Type errors recorded by the loader are surfaced as
 // diagnostics of the pseudo-analyzer "typecheck" so a broken package
 // fails the lint run visibly instead of being half-analyzed in silence.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunModule(pkgs, analyzers)
+	return diags
+}
+
+// RunModule is Run plus per-analyzer wall-time accounting, and is the
+// entry point that builds the interprocedural fact store when any
+// analyzer asks for it.
+func RunModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
+	var (
+		facts *Facts
+		graph *Graph
+	)
+	elapsed := make(map[string]time.Duration)
+	var order []string
+	for _, a := range analyzers {
+		if a.NeedsFacts && facts == nil {
+			start := time.Now()
+			facts = BuildFacts(pkgs)
+			graph = NewGraph(facts)
+			elapsed["(facts)"] = time.Since(start)
+			order = append(order, "(facts)")
+		}
+		if _, ok := elapsed[a.Name]; !ok {
+			elapsed[a.Name] = 0
+			order = append(order, a.Name)
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg.Fset, pkg.Files)
@@ -112,6 +158,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
+				Graph:     graph,
 			}
 			pass.report = func(d Diagnostic) {
 				if a.SkipTestFiles && strings.HasSuffix(d.Position.Filename, "_test.go") {
@@ -122,9 +170,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				}
 				diags = append(diags, d)
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 		diags = append(diags, ignores.malformed...)
+	}
+	timings := make([]AnalyzerTiming, 0, len(order))
+	for _, name := range order {
+		timings = append(timings, AnalyzerTiming{Name: name, Elapsed: elapsed[name]})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
@@ -139,7 +193,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // Select returns the analyzers that survive the enable/disable flags:

@@ -95,6 +95,36 @@ func TestIgnoreScopedToNextStatementOnly(t *testing.T) {
 	}
 }
 
+func TestCollectDirectives(t *testing.T) {
+	pkg := loadTestdata(t, "testdata/src/ignorescope")
+	dirs := lint.CollectDirectives([]*lint.Package{pkg})
+	if len(dirs) != 6 {
+		t.Fatalf("CollectDirectives: got %d directives, want 6", len(dirs))
+	}
+	byLine := make(map[int]lint.Directive)
+	for _, d := range dirs {
+		byLine[d.Line] = d
+	}
+	if d := byLine[8]; d.Inline || d.Malformed || len(d.Analyzers) != 1 || d.Analyzers[0] != "noprint" ||
+		!strings.Contains(d.Reason, "only the next statement") {
+		t.Errorf("line 8 directive parsed wrong: %+v", d)
+	}
+	if d := byLine[14]; !d.Inline {
+		t.Errorf("line 14 directive should be inline: %+v", d)
+	}
+	if d := byLine[32]; len(d.Analyzers) != 1 || d.Analyzers[0] != "someothercheck" {
+		t.Errorf("line 32 directive should surface the unknown name verbatim: %+v", d)
+	}
+	if d := byLine[37]; !d.Malformed {
+		t.Errorf("line 37 reason-less directive should be malformed: %+v", d)
+	}
+	for i := 1; i < len(dirs); i++ {
+		if dirs[i-1].Line > dirs[i].Line {
+			t.Fatal("directives must come back sorted by line")
+		}
+	}
+}
+
 func TestLoaderSurvivesTypeError(t *testing.T) {
 	pkg := loadTestdata(t, "testdata/src/typeerror")
 	if len(pkg.TypeErrors) == 0 {

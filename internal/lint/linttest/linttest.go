@@ -14,38 +14,57 @@ import (
 var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
 var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
+// A TestPackage names one fixture directory and the pretend import
+// path to load it under. Packages are loaded in slice order, each one
+// registered as importable by the ones after it — so a fixture can
+// exercise cross-package facts by importing an earlier entry's path.
+type TestPackage struct {
+	Dir  string
+	Path string
+}
+
 // Run loads the single package in dir under the pretend import path
 // (so path-scoped analyzers fire), runs the analyzers, and requires the
 // diagnostics to match the `// want` comments exactly: every want must
 // be hit on its line, every diagnostic must be wanted.
 func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
 	t.Helper()
-	pkg, diags := load(t, dir, importPath, analyzers)
+	RunMulti(t, []TestPackage{{Dir: dir, Path: importPath}}, analyzers...)
+}
+
+// RunMulti is Run over several fixture packages at once: analyzers see
+// all of them (and the fact store covers all of them), wants are
+// collected from every package, and the match must be exact.
+func RunMulti(t *testing.T, pkgs []TestPackage, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loaded, diags := loadMulti(t, pkgs, analyzers)
 
 	type wantKey struct {
 		file string
 		line int
 	}
 	wants := make(map[wantKey][]*regexp.Regexp)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, q := range quotedRE.FindAllString(m[1], -1) {
-					pat, err := strconv.Unquote(q)
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+	for _, pkg := range loaded {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						k := wantKey{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], re)
 					}
-					k := wantKey{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], re)
 				}
 			}
 		}
@@ -89,13 +108,23 @@ func RunExpectNone(t *testing.T, dir, importPath string, analyzers ...*lint.Anal
 
 func load(t *testing.T, dir, importPath string, analyzers []*lint.Analyzer) (*lint.Package, []lint.Diagnostic) {
 	t.Helper()
+	pkgs, diags := loadMulti(t, []TestPackage{{Dir: dir, Path: importPath}}, analyzers)
+	return pkgs[0], diags
+}
+
+func loadMulti(t *testing.T, specs []TestPackage, analyzers []*lint.Analyzer) ([]*lint.Package, []lint.Diagnostic) {
+	t.Helper()
 	loader := lint.NewLoader()
-	pkg, err := loader.LoadDir(dir, importPath)
-	if err != nil {
-		t.Fatal(err)
+	var pkgs []*lint.Package
+	for _, spec := range specs {
+		pkg, err := loader.LoadDir(spec.Dir, spec.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("testdata package %s does not type-check: %v", spec.Dir, pkg.TypeErrors[0])
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	if len(pkg.TypeErrors) > 0 {
-		t.Fatalf("testdata package %s does not type-check: %v", dir, pkg.TypeErrors[0])
-	}
-	return pkg, lint.Run([]*lint.Package{pkg}, analyzers)
+	return pkgs, lint.Run(pkgs, analyzers)
 }

@@ -136,7 +136,17 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
 	sort.Strings(files)
-	return l.check(importPath, dir, files)
+	pkg, err := l.check(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	// Register clean packages as importable so a later LoadDir package
+	// can import this one by its pretend path — the fixture mechanism
+	// for cross-package fact-propagation tests.
+	if len(pkg.TypeErrors) == 0 {
+		l.pure[importPath] = pkg.Types
+	}
+	return pkg, nil
 }
 
 // check parses and type-checks one package. Parse errors abort (there is
@@ -169,12 +179,18 @@ func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, er
 	return pkg, nil
 }
 
-// importPkg resolves one import for the type checker: module-internal
-// packages recursively from source (without test files), everything else
+// importPkg resolves one import for the type checker: the pure cache
+// first (module-internal packages already checked, and LoadDir
+// packages registered under pretend paths — how multi-package testdata
+// fixtures import each other), then module-internal packages
+// recursively from source (without test files), everything else
 // through the stdlib source importer.
 func (l *Loader) importPkg(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if p, ok := l.pure[path]; ok {
+		return p, nil
 	}
 	if l.inModule(path) {
 		if p, ok := l.pure[path]; ok {

@@ -1,0 +1,60 @@
+// Package root is the dependent half of the cross-package fact
+// propagation fixture: every derived fact here requires leaf's facts
+// to already be final, which is what the dependency-ordered store
+// guarantees.
+package root
+
+import (
+	"fmt"
+	"sort"
+
+	"flowdifflint-testdata/facts/leaf"
+)
+
+// PassThrough returns leaf.Keys' map-ordered slice unsorted: the
+// MapOrderedReturn fact must propagate across the package boundary.
+func PassThrough(m map[string]int) []string {
+	return leaf.Keys(m)
+}
+
+// Rinsed sorts the map-ordered result before returning: clean.
+func Rinsed(m map[string]int) []string {
+	ks := leaf.Keys(m)
+	sort.Strings(ks)
+	return ks
+}
+
+// Relay returns leaf.Keys' result through a local variable, unsorted:
+// still map-ordered.
+func Relay(m map[string]int) []string {
+	ks := leaf.Keys(m)
+	return ks
+}
+
+// CallIface dispatches through the interface; the graph must resolve
+// the edge to leaf.Dev's Emit structurally.
+func CallIface(e leaf.Emitter) int {
+	return e.Emit("x")
+}
+
+// Wraps propagates a sentinel-wrapped callee error: SentinelWrapped.
+func Wraps() error {
+	if err := leaf.Fail(); err != nil {
+		return fmt.Errorf("root: %w", err)
+	}
+	return nil
+}
+
+// BadWrap wraps an identity-less callee error: not SentinelWrapped.
+func BadWrap() error {
+	if err := leaf.Bad(); err != nil {
+		return fmt.Errorf("root: %w", err)
+	}
+	return nil
+}
+
+// Indirect reaches leaf.Wrapper's fresh Background root through a
+// context-less chain: NeedsCtx.
+func Indirect() error {
+	return leaf.Wrapper()
+}

@@ -150,7 +150,7 @@ func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
 // extractor append.
 func (m *Monitor) ObserveContext(ctx context.Context, e flowlog.Event) (*MonitorReport, error) {
 	if e.Time < m.buf.Start {
-		return nil, fmt.Errorf("flowdiff: event at %v precedes current window start %v", e.Time, m.buf.Start)
+		return nil, fmt.Errorf("flowdiff: %w: event at %v precedes current window start %v", ErrOutOfOrder, e.Time, m.buf.Start)
 	}
 	obs.From(ctx).Counter("monitor.events").Inc()
 	var rep *MonitorReport

@@ -70,13 +70,13 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	}
 	topo, err := topology.Lab()
 	if err != nil {
-		return nil, fmt.Errorf("flowdiff: building lab topology: %w", err)
+		return nil, fmt.Errorf("%w: building lab topology: %w", ErrScenario, err)
 	}
 	cfg := s.Net
 	cfg.Seed = s.Seed
 	net, err := simnet.NewNetwork(topo, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("flowdiff: building network: %w", err)
+		return nil, fmt.Errorf("%w: building network: %w", ErrScenario, err)
 	}
 
 	var specs []workload.Spec
@@ -91,7 +91,7 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	} else {
 		specs, err = workload.CaseSpecs(s.Case)
 		if err != nil {
-			return nil, fmt.Errorf("flowdiff: %w", err)
+			return nil, fmt.Errorf("%w: %w", ErrScenario, err)
 		}
 	}
 
@@ -100,7 +100,7 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	for i, spec := range specs {
 		app, err := workload.Attach(net, spec, s.Seed+int64(i)+1)
 		if err != nil {
-			return nil, fmt.Errorf("flowdiff: attaching app %q: %w", spec.Name, err)
+			return nil, fmt.Errorf("%w: attaching app %q: %w", ErrScenario, spec.Name, err)
 		}
 		app.Run(0, total)
 		apps = append(apps, app)
@@ -109,7 +109,7 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	for i, spec := range s.Incast {
 		app, err := workload.AttachIncast(net, spec, s.Seed+int64(len(specs)+i)+1)
 		if err != nil {
-			return nil, fmt.Errorf("flowdiff: attaching incast app %q: %w", spec.Name, err)
+			return nil, fmt.Errorf("%w: attaching incast app %q: %w", ErrScenario, spec.Name, err)
 		}
 		app.Run(0, total)
 		incasts = append(incasts, app)
@@ -124,7 +124,7 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	res := &ScenarioResult{Topo: topo, Net: net, Apps: apps, IncastApps: incasts}
 	for _, f := range s.Faults {
 		if err := f.Apply(net, apps); err != nil {
-			return nil, fmt.Errorf("flowdiff: applying fault %q: %w", f.Name(), err)
+			return nil, fmt.Errorf("%w: applying fault %q: %w", ErrScenario, f.Name(), err)
 		}
 	}
 	if len(s.Tasks) > 0 {
@@ -133,7 +133,7 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 		for _, script := range s.Tasks {
 			run, err := workload.ExecuteTask(net, at, script, rng)
 			if err != nil {
-				return nil, fmt.Errorf("flowdiff: executing task %q: %w", script.Name, err)
+				return nil, fmt.Errorf("%w: executing task %q: %w", ErrScenario, script.Name, err)
 			}
 			res.TaskRuns = append(res.TaskRuns, run)
 			at += 30 * time.Second

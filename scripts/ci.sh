@@ -9,9 +9,103 @@ go vet ./...
 # flowdifflint: the repo's own analyzer suite. It machine-checks the
 # determinism/concurrency invariants (map-order leaks, wall-clock reads
 # in virtual-time packages, float equality in stats comparison, lock
-# copies, dropped errors) so a violation fails the build before the race
-# tests ever run.
-go run ./cmd/flowdifflint ./...
+# copies, dropped errors, dropped contexts, sentinel-less public errors,
+# joinless goroutines, span-table drift, determinism-root order leaks)
+# so a violation fails the build before the race tests ever run. The
+# -json report is parsed rather than trusting the exit code alone: a
+# driver bug that swallowed findings but still exited 0 would otherwise
+# pass silently.
+LINT_JSON="$(mktemp)"
+go run ./cmd/flowdifflint -json ./... > "$LINT_JSON"
+grep -q '"count": 0' "$LINT_JSON"
+rm -f "$LINT_JSON"
+# Suppression audit: every //lint:ignore must name a real analyzer and
+# carry a reason, or the typo suppresses nothing while looking like it
+# does.
+go run ./cmd/flowdifflint -ignores ./... > /dev/null
+# Seeded-violation smoke: plant one violation per interprocedural
+# analyzer (plus the deferred-close errcheck extension) in throwaway
+# overlay packages and require the linter to catch every one. This is
+# the end-to-end proof that the analyzers are wired into the driver —
+# a suite that silently stopped running would still pass the clean run
+# above.
+SMOKE_DIR=internal/lintsmoke
+SMOKE_FLOWLOG=internal/flowlog/lintsmoke
+SMOKE_ROOT=lintsmoke_seed.go
+SMOKE_JSON="$(mktemp)"
+smoke_cleanup() { rm -rf "$SMOKE_DIR" "$SMOKE_FLOWLOG" "$SMOKE_ROOT" "$SMOKE_JSON"; }
+trap smoke_cleanup EXIT
+mkdir -p "$SMOKE_DIR" "$SMOKE_FLOWLOG"
+cat > "$SMOKE_ROOT" <<'EOF'
+package flowdiff
+
+import "errors"
+
+// SmokeSentinel is a CI lint-smoke seed: an exported error with no
+// sentinel identity. Never committed; see scripts/ci.sh.
+func SmokeSentinel() error { return errors.New("seed") }
+EOF
+cat > "$SMOKE_DIR/seed.go" <<'EOF'
+// Package lintsmoke is a CI seed package: one violation per
+// interprocedural analyzer. Never committed; see scripts/ci.sh.
+package lintsmoke
+
+import (
+	"context"
+
+	"flowdiff/internal/obs"
+)
+
+func CtxSeed(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background()
+}
+
+func SpawnSeed() {
+	go func() {}()
+}
+
+func ObsSeed(ctx context.Context, name string) {
+	defer obs.Span(ctx, name).End()
+}
+
+func DetSeed(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+EOF
+cat > "$SMOKE_FLOWLOG/seed.go" <<'EOF'
+// Package lintsmoke seeds the deferred-close errcheck rule. Never
+// committed; see scripts/ci.sh.
+package lintsmoke
+
+import "os"
+
+func ErrSeed(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}
+EOF
+if go run ./cmd/flowdifflint -json -detorder-roots flowdiff/internal/lintsmoke.DetSeed ./... > "$SMOKE_JSON"; then
+	echo "lint smoke: seeded violations were not caught" >&2
+	exit 1
+fi
+for name in ctxflow sentinelerr spawnjoin obsspan detorder errcheck; do
+	grep -q "\"analyzer\": \"$name\"" "$SMOKE_JSON" || {
+		echo "lint smoke: analyzer $name missed its seeded violation" >&2
+		exit 1
+	}
+done
+smoke_cleanup
+trap - EXIT
 go build ./...
 go test -race ./...
 # Decoder fuzz targets over their seed corpora (-run mode, no fuzzing

@@ -34,7 +34,7 @@ func NewColumnarSource(r io.Reader) (EventSource, error) {
 func NewColumnarSourceContext(ctx context.Context, r io.Reader) (EventSource, error) {
 	cr, err := colseg.NewReaderContext(ctx, r, colseg.ReaderOptions{})
 	if err != nil {
-		return nil, fmt.Errorf("flowdiff: opening columnar log: %w", err)
+		return nil, fmt.Errorf("flowdiff: opening columnar log: %w: %w", ErrBadLog, err)
 	}
 	return cr, nil
 }
@@ -67,6 +67,7 @@ func BuildSignaturesReaderContext(ctx context.Context, src EventSource, opts Opt
 	if src == nil {
 		return nil, fmt.Errorf("flowdiff: building signatures: %w", ErrEmptyLog)
 	}
+	//lint:ignore obsspan same top-level build stage as BuildSignaturesContext on the streaming path; a run enters exactly one of the two, so the timeline never sees both
 	defer obs.Span(ctx, "flowdiff.build").End()
 	p, err := signature.NewPipelineFromSourceContext(ctx, src, opts.resolver(), opts.sigConfig(), opts.Stability)
 	if err != nil {
