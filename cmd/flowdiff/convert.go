@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
+	"strings"
 
 	"flowdiff/internal/flowlog"
 	"flowdiff/internal/flowlog/colseg"
@@ -13,6 +15,14 @@ import (
 // loadLog reads a log in any of the three serializations, detected by
 // magic prefix: FDC1 (segmented columnar), FDL1 (row binary), else JSON.
 func loadLog(path string) (*flowlog.Log, error) {
+	return loadLogFiltered(path, colseg.Filter{})
+}
+
+// loadLogFiltered is loadLog restricted to the filter's events. FDC1
+// input is read query-aware (segments pruned from the on-disk index,
+// non-matching events dropped at decode time); the row formats are
+// materialized and filtered in memory.
+func loadLogFiltered(path string, filter colseg.Filter) (*flowlog.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -20,20 +30,66 @@ func loadLog(path string) (*flowlog.Log, error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	magic, err := br.Peek(4)
-	if err == nil {
-		switch string(magic) {
-		case "FDC1":
-			return colseg.Read(br)
-		case "FDL1":
-			return flowlog.ReadBinary(br)
+	var log *flowlog.Log
+	if err == nil && string(magic) == "FDC1" {
+		r, err := colseg.NewReader(br, colseg.ReaderOptions{Filter: filter})
+		if err != nil {
+			return nil, err
 		}
+		return r.ReadAll()
 	}
-	return flowlog.ReadJSON(br)
+	if err == nil && string(magic) == "FDL1" {
+		log, err = flowlog.ReadBinary(br)
+	} else {
+		log, err = flowlog.ReadJSON(br)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return filterLog(log, filter), nil
+}
+
+// filterLog applies a colseg-style filter to a materialized log — the
+// row formats have no index to prune from, so the filter runs in
+// memory with the same semantics as the query-aware columnar read.
+func filterLog(log *flowlog.Log, filter colseg.Filter) *flowlog.Log {
+	timeActive := filter.To > filter.From
+	if !timeActive && len(filter.Hosts) == 0 && len(filter.Switches) == 0 {
+		return log
+	}
+	hosts := make(map[netip.Addr]bool, len(filter.Hosts))
+	for _, a := range filter.Hosts {
+		hosts[a] = true
+	}
+	switches := make(map[string]bool, len(filter.Switches))
+	for _, s := range filter.Switches {
+		switches[s] = true
+	}
+	out := flowlog.New(log.Start, log.End)
+	if timeActive {
+		out.Start, out.End = filter.From, filter.To
+	}
+	for _, e := range log.Events {
+		if timeActive && (e.Time < filter.From || e.Time >= filter.To) {
+			continue
+		}
+		if len(hosts) > 0 && !hosts[e.Flow.Src] && !hosts[e.Flow.Dst] {
+			continue
+		}
+		if len(switches) > 0 && !switches[e.Switch] {
+			continue
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
 }
 
 // runConvert implements the convert subcommand: re-serialize a log
 // between the JSON, FDL1 (row binary), and FDC1 (segmented columnar)
-// formats. The input format is auto-detected.
+// formats. The input format is auto-detected. The -from/-to/-hosts
+// flags carve a slice out of the input; on FDC1 input the slice is
+// read query-aware — segments outside the window or host set are
+// pruned from the on-disk index without decoding their payload.
 func runConvert(args []string) error {
 	fs := flag.NewFlagSet("flowdiff convert", flag.ExitOnError)
 	var (
@@ -42,6 +98,9 @@ func runConvert(args []string) error {
 		to         = fs.String("to", "columnar", "output format: columnar | binary | json")
 		segDur     = fs.Duration("segment", 0, "columnar segment time range (default 30s)")
 		segMaxEvts = fs.Int("segment-events", 0, "columnar per-segment event cap (default 65536)")
+		fromFlag   = fs.Duration("from", 0, "keep only events at or after this offset (with -to)")
+		toFlag     = fs.Duration("to-time", 0, "keep only events before this offset (with -from)")
+		hostsFlag  = fs.String("hosts", "", "comma-separated IPv4 hosts: keep only flows touching one of them")
 	)
 	// ExitOnError: Parse never returns a non-nil error to us.
 	_ = fs.Parse(args)
@@ -49,7 +108,18 @@ func runConvert(args []string) error {
 		return fmt.Errorf("convert: both -in and -out are required")
 	}
 
-	log, err := loadLog(*in)
+	filter := colseg.Filter{From: *fromFlag, To: *toFlag}
+	if *hostsFlag != "" {
+		for _, s := range strings.Split(*hostsFlag, ",") {
+			a, err := netip.ParseAddr(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("convert: -hosts: %w", err)
+			}
+			filter.Hosts = append(filter.Hosts, a)
+		}
+	}
+
+	log, err := loadLogFiltered(*in, filter)
 	if err != nil {
 		return fmt.Errorf("convert: loading %s: %w", *in, err)
 	}

@@ -10,10 +10,16 @@
 //	flowdiff -baseline l1.json -current l2.json -stats
 //	flowdiff serve -baseline l1.json -current l2.json
 //	flowdiff convert -in l1.json -out l1.fdc -to columnar
+//	flowdiff inspect l1.fdc
+//	flowdiff inspect -columns l1.fdc
 //
 // Logs are accepted in any serialization — JSON, FDL1 (row binary), or
 // FDC1 (segmented columnar) — detected by magic prefix; the convert
-// subcommand re-serializes between them.
+// subcommand re-serializes between them. The inspect subcommand prints
+// a binary log's metadata — per-segment time ranges, event counts,
+// per-column encoded sizes, and dictionary cardinalities for FDC1 —
+// without decoding any payload: it shows exactly what a query-aware
+// read gets to prune on.
 //
 // The serve subcommand keeps the process alive after printing the
 // report, exposing /metrics (the obs snapshot), /debug/vars, and
@@ -46,6 +52,9 @@ func run() error {
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "convert" {
 		return runConvert(args[1:])
+	}
+	if len(args) > 0 && args[0] == "inspect" {
+		return runInspect(args[1:])
 	}
 	serveMode := len(args) > 0 && args[0] == "serve"
 	if serveMode {

@@ -148,7 +148,7 @@ func TestTimeRangeReadPrunesSegments(t *testing.T) {
 	reg := obs.New()
 	ctx := obs.WithRegistry(context.Background(), reg)
 	from, to := 40*time.Second, 60*time.Second
-	r, err := NewReaderContext(ctx, bytes.NewReader(raw), ReaderOptions{From: from, To: to})
+	r, err := NewReaderContext(ctx, bytes.NewReader(raw), ReaderOptions{Filter: Filter{From: from, To: to}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,10 +229,10 @@ func TestReaderCorruption(t *testing.T) {
 		"truncated header": func(b []byte) []byte { return b[:headerLen-5] },
 		"bad segment tag":  func(b []byte) []byte { b[segStart] = 'Q'; return b },
 		"truncated preamble": func(b []byte) []byte {
-			return b[:segStart+4+preambleLen-2]
+			return b[:segStart+4+preambleLenV2-2]
 		},
-		"truncated payload": func(b []byte) []byte {
-			return b[:segStart+4+preambleLen+10]
+		"truncated index": func(b []byte) []byte {
+			return b[:segStart+4+preambleLenV2+10]
 		},
 		"zero event count": func(b []byte) []byte {
 			b[segStart+4+16] = 0
@@ -255,8 +255,21 @@ func TestReaderCorruption(t *testing.T) {
 			b[segStart+4+23] = 0xff
 			return b
 		},
+		"implausible index length": func(b []byte) []byte {
+			b[segStart+4+24] = 0xff
+			b[segStart+4+25] = 0xff
+			b[segStart+4+26] = 0xff
+			b[segStart+4+27] = 0xff
+			return b
+		},
 		"payload bit flip fails CRC": func(b []byte) []byte {
-			b[segStart+4+preambleLen+5] ^= 0x40
+			idxLen := int(uint32(b[segStart+4+24])<<24 | uint32(b[segStart+4+25])<<16 |
+				uint32(b[segStart+4+26])<<8 | uint32(b[segStart+4+27]))
+			b[segStart+4+preambleLenV2+idxLen+5] ^= 0x40
+			return b
+		},
+		"index bit flip fails offset or CRC check": func(b []byte) []byte {
+			b[segStart+4+preambleLenV2+2] ^= 0x40
 			return b
 		},
 		"missing end marker": func(b []byte) []byte {
@@ -274,14 +287,15 @@ func TestReaderCorruption(t *testing.T) {
 }
 
 func TestReaderCorruptOffsetsAndDict(t *testing.T) {
-	// Rebuild a one-segment file and corrupt footer offsets / dictionary
-	// indexes directly: the bounds-checked cursor must error, not panic.
+	// Rebuild a one-segment legacy (version-1) file and corrupt footer
+	// offsets / dictionary indexes directly: the bounds-checked cursor
+	// must error, not panic.
 	l := testLog(time.Second, 40)
-	raw := encode(t, l, WriterOptions{})
+	raw := encode(t, l, WriterOptions{FormatVersion: 1})
 	// footer offsets start at: header + tag + preamble + payloadLen
 	pre := headerLen + 4
 	payloadLen := int(uint32(raw[pre+20])<<24 | uint32(raw[pre+21])<<16 | uint32(raw[pre+22])<<8 | uint32(raw[pre+23]))
-	footer := pre + preambleLen + payloadLen
+	footer := pre + preambleLenV1 + payloadLen
 	corrupt := append([]byte(nil), raw...)
 	// Out-of-range first offset (but keep CRC valid: offsets are outside
 	// the checksummed payload).
@@ -312,11 +326,29 @@ func FuzzReadSegment(f *testing.F) {
 	f.Add(valid[:headerLen+2])
 	f.Add([]byte("FDC1"))
 	flipped := append([]byte(nil), valid...)
-	flipped[headerLen+4+preambleLen+3] ^= 0x10
+	flipped[headerLen+4+preambleLenV2+3] ^= 0x10
 	f.Add(flipped)
 	counted := append([]byte(nil), valid...)
 	counted[headerLen+4+16] = 0xff
 	f.Add(counted)
+	// Legacy layout seeds: a valid version-1 file and a bit-flipped one.
+	validV1 := encode(f, l, WriterOptions{SegmentDuration: 5 * time.Second, FormatVersion: 1})
+	f.Add(validV1)
+	flippedV1 := append([]byte(nil), validV1...)
+	flippedV1[headerLen+4+preambleLenV1+3] ^= 0x10
+	f.Add(flippedV1)
+	// Mixed-version mutants: a v2 body under a v1 header byte and vice
+	// versa — the reader must fail with a wrapped error, not misparse.
+	crossA := append([]byte(nil), valid...)
+	crossA[4] = formatVersion1
+	f.Add(crossA)
+	crossB := append([]byte(nil), validV1...)
+	crossB[4] = formatVersion2
+	f.Add(crossB)
+	// A future revision must be rejected from the header.
+	future := append([]byte(nil), valid...)
+	future[4] = formatVersion2 + 1
+	f.Add(future)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data), ReaderOptions{})

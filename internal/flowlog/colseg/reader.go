@@ -7,24 +7,34 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"net/netip"
 	"time"
 
 	"flowdiff/internal/flowlog"
 	"flowdiff/internal/obs"
 )
 
-// ReaderOptions tunes streaming decode.
+// ReaderOptions tunes streaming decode: what to return (Columns), what
+// to keep (the embedded Filter), and how to decode (BatchSize,
+// Parallelism). The zero options read everything serially.
 type ReaderOptions struct {
-	// From/To restrict the read to events in [From, To) — the same
-	// half-open semantics as flowlog.Window. Segments whose [min, max]
-	// time range does not overlap the window are pruned from their
-	// 24-byte preamble: their payload is skipped, never decoded. The
-	// filter is active only when To > From; the zero options read
-	// everything.
-	From, To time.Duration
+	// Filter restricts the read. Whole segments the index proves
+	// irrelevant are pruned before any payload byte is read; inside
+	// overlapping segments, non-matching events are dropped at decode
+	// time and never materialized.
+	Filter
+	// Columns projects the decode: only the selected columns' payload
+	// blocks are decoded (on version-2 files the others are never even
+	// read), and unprojected event fields stay at their zero value. Zero
+	// means all columns.
+	Columns ColumnSet
 	// BatchSize caps the event count of one Next batch. Default 8192.
 	BatchSize int
+	// Parallelism > 1 decodes that many segments concurrently (clamped
+	// to the hardware by parallel.Clamp) behind a bounded-readahead
+	// pipeline that delivers batches strictly in file order — output is
+	// identical to the serial reader at every worker count. 0 or 1 reads
+	// serially.
+	Parallelism int
 }
 
 func (o ReaderOptions) withDefaults() ReaderOptions {
@@ -34,31 +44,87 @@ func (o ReaderOptions) withDefaults() ReaderOptions {
 	return o
 }
 
-func (o ReaderOptions) filtered() bool { return o.To > o.From }
+// readerMetrics holds the obs handles resolved once at open, so the
+// per-segment cost is an atomic add.
+//
+// Counter semantics: segments.read counts decoded segments;
+// segments.pruned counts segments skipped from the preamble time range;
+// segments.pruned_by_index counts segments skipped from the index
+// membership summaries; events.decoded counts materialized events;
+// events.filtered counts events dropped at decode time; columns.skipped
+// counts unprojected column blocks never decoded; bytes.decoded /
+// bytes.skipped split the payload bytes by whether they fed a decode.
+// The readahead.occupancy gauge tracks filled pipeline slots per round
+// (Max = the deepest the readahead ever ran).
+type readerMetrics struct {
+	segsRead    *obs.Counter
+	segsPruned  *obs.Counter
+	segsPrunedX *obs.Counter
+	evsDecoded  *obs.Counter
+	evsFiltered *obs.Counter
+	colsSkipped *obs.Counter
+	bytesDec    *obs.Counter
+	bytesSkip   *obs.Counter
+	occupancy   *obs.Gauge
+}
+
+func newReaderMetrics(reg *obs.Registry) readerMetrics {
+	return readerMetrics{
+		segsRead:    reg.Counter("colseg.segments.read"),
+		segsPruned:  reg.Counter("colseg.segments.pruned"),
+		segsPrunedX: reg.Counter("colseg.segments.pruned_by_index"),
+		evsDecoded:  reg.Counter("colseg.events.decoded"),
+		evsFiltered: reg.Counter("colseg.events.filtered"),
+		colsSkipped: reg.Counter("colseg.columns.skipped"),
+		bytesDec:    reg.Counter("colseg.bytes.decoded"),
+		bytesSkip:   reg.Counter("colseg.bytes.skipped"),
+		occupancy:   reg.Gauge("colseg.readahead.occupancy"),
+	}
+}
+
+// segMeta is everything known about the next segment before its payload:
+// the preamble plus, on version-2 files, the decoded index.
+type segMeta struct {
+	minT, maxT time.Duration
+	count      int
+	payloadLen int
+	index      *segIndex
+}
 
 // Reader streams an FDC1 file segment by segment, serving decoded
 // events in bounded batches. Peak memory is one decoded segment plus
-// the per-segment dictionaries; the full event slice is never
-// materialized.
+// the per-segment dictionaries (times Parallelism plus readahead when
+// decoding in parallel); the full event slice is never materialized.
 //
 // Metrics land in the obs registry traveling in the constructor's
-// context: counters colseg.segments.read / colseg.segments.pruned /
-// colseg.events.decoded and the span histogram span.colseg.decode.
+// context; see readerMetrics for the counter contract.
 type Reader struct {
-	br    *bufio.Reader
-	reg   *obs.Registry
-	opts  ReaderOptions
-	start time.Duration
-	end   time.Duration
-	width time.Duration
-	seg   []flowlog.Event
-	pos   int
+	br      *bufio.Reader
+	ctx     context.Context
+	reg     *obs.Registry
+	m       readerMetrics
+	opts    ReaderOptions
+	spec    *querySpec
+	version int
+	start   time.Duration
+	end     time.Duration
+	width   time.Duration
 	// names interns switch-name dictionary entries across segments, so
 	// a capture from N switches allocates N strings however many
-	// segments repeat them.
+	// segments repeat them. Serial decode only: parallel slots intern
+	// per segment (value-equal output, no shared map).
 	names map[string]string
-	done  bool
-	err   error
+	// Serial decode state, reused across segments.
+	slab    []byte
+	blocks  [numColumns][]byte
+	sc      decodeScratch
+	idxBuf  []byte
+	par     *pipeline
+	seg     []flowlog.Event
+	pos     int
+	srcDone bool // end marker consumed from the stream
+	done    bool // no batches left to serve
+	err     error
 }
 
 // NewReader is NewReaderContext with a background context.
@@ -67,7 +133,9 @@ func NewReader(r io.Reader, opts ReaderOptions) (*Reader, error) {
 }
 
 // NewReaderContext opens an FDC1 stream: the header is read and
-// validated immediately, events decode lazily per Next call.
+// validated immediately, events decode lazily per Next call. Both
+// on-disk versions are readable; files from a future revision are
+// rejected here.
 func NewReaderContext(ctx context.Context, r io.Reader, opts ReaderOptions) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [headerLen]byte
@@ -77,25 +145,40 @@ func NewReaderContext(ctx context.Context, r io.Reader, opts ReaderOptions) (*Re
 	if string(hdr[0:4]) != fileMagic {
 		return nil, fmt.Errorf("colseg: bad magic %q", hdr[0:4])
 	}
-	if hdr[4] != formatVersion {
+	if hdr[4] != formatVersion1 && hdr[4] != formatVersion2 {
 		return nil, fmt.Errorf("colseg: unsupported version %d", hdr[4])
 	}
 	if hdr[5] != numColumns {
 		return nil, fmt.Errorf("colseg: unexpected column count %d (want %d)", hdr[5], numColumns)
 	}
-	return &Reader{
-		br:    br,
-		reg:   obs.From(ctx),
-		opts:  opts.withDefaults(),
-		start: time.Duration(binary.BigEndian.Uint64(hdr[6:14])),
-		end:   time.Duration(binary.BigEndian.Uint64(hdr[14:22])),
-		width: time.Duration(binary.BigEndian.Uint64(hdr[22:30])),
-		names: make(map[string]string),
-	}, nil
+	opts = opts.withDefaults()
+	reg := obs.From(ctx)
+	rd := &Reader{
+		br:      br,
+		ctx:     ctx,
+		reg:     reg,
+		m:       newReaderMetrics(reg),
+		opts:    opts,
+		spec:    newQuerySpec(opts.Filter, opts.Columns),
+		version: int(hdr[4]),
+		start:   time.Duration(binary.BigEndian.Uint64(hdr[6:14])),
+		end:     time.Duration(binary.BigEndian.Uint64(hdr[14:22])),
+		width:   time.Duration(binary.BigEndian.Uint64(hdr[22:30])),
+		names:   make(map[string]string),
+	}
+	rd.par = newPipeline(opts.Parallelism)
+	return rd, nil
 }
 
-// Bounds returns the log interval recorded in the file header.
-func (r *Reader) Bounds() (start, end time.Duration) { return r.start, r.end }
+// Bounds returns the interval the served events cover: the filter
+// window when one is set, else the log interval recorded in the file
+// header.
+func (r *Reader) Bounds() (start, end time.Duration) {
+	if r.opts.timeActive() {
+		return r.opts.From, r.opts.To
+	}
+	return r.start, r.end
+}
 
 // SegmentDuration returns the fixed time range the file was segmented by.
 func (r *Reader) SegmentDuration() time.Duration { return r.width }
@@ -112,7 +195,13 @@ func (r *Reader) Next() ([]flowlog.Event, error) {
 			r.err = io.EOF
 			return nil, io.EOF
 		}
-		if err := r.nextSegment(); err != nil {
+		var err error
+		if r.par != nil {
+			err = r.nextSegmentParallel()
+		} else {
+			err = r.nextSegment()
+		}
+		if err != nil {
 			r.err = err
 			return nil, err
 		}
@@ -126,264 +215,228 @@ func (r *Reader) Next() ([]flowlog.Event, error) {
 	return batch, nil
 }
 
-// nextSegment advances past end markers and pruned segments until one
-// segment has been decoded into r.seg (possibly empty after in-window
-// filtering) or the file ends (r.done).
-func (r *Reader) nextSegment() error {
+// readMeta consumes the next segment tag and, unless the file ended,
+// the preamble and (version 2) the segment index — everything needed to
+// decide pruning before any payload byte.
+func (r *Reader) readMeta() (meta segMeta, done bool, err error) {
 	var tag [4]byte
 	if _, err := io.ReadFull(r.br, tag[:]); err != nil {
-		return fmt.Errorf("colseg: reading segment tag: %w", err)
+		return meta, false, fmt.Errorf("colseg: reading segment tag: %w", err)
 	}
 	switch string(tag[:]) {
 	case endMagic:
-		r.done = true
-		r.seg, r.pos = nil, 0
-		return nil
+		return meta, true, nil
 	case segMagic:
 	default:
-		return fmt.Errorf("colseg: bad segment tag %q", tag[:])
+		return meta, false, fmt.Errorf("colseg: bad segment tag %q", tag[:])
 	}
 
-	var pre [preambleLen]byte
-	if _, err := io.ReadFull(r.br, pre[:]); err != nil {
-		return fmt.Errorf("colseg: reading segment preamble: %w", err)
+	preLen := preambleLenV1
+	if r.version == formatVersion2 {
+		preLen = preambleLenV2
 	}
-	minT := time.Duration(binary.BigEndian.Uint64(pre[0:8]))
-	maxT := time.Duration(binary.BigEndian.Uint64(pre[8:16]))
+	var pre [preambleLenV2]byte
+	if _, err := io.ReadFull(r.br, pre[:preLen]); err != nil {
+		return meta, false, fmt.Errorf("colseg: reading segment preamble: %w", err)
+	}
+	meta.minT = time.Duration(binary.BigEndian.Uint64(pre[0:8]))
+	meta.maxT = time.Duration(binary.BigEndian.Uint64(pre[8:16]))
 	count := binary.BigEndian.Uint32(pre[16:20])
 	payloadLen := binary.BigEndian.Uint32(pre[20:24])
 	if count == 0 || count > maxSegmentEvents {
-		return fmt.Errorf("colseg: implausible segment event count %d", count)
+		return meta, false, fmt.Errorf("colseg: implausible segment event count %d", count)
 	}
 	if payloadLen > maxPayloadLen {
-		return fmt.Errorf("colseg: implausible segment payload length %d", payloadLen)
+		return meta, false, fmt.Errorf("colseg: implausible segment payload length %d", payloadLen)
+	}
+	meta.count = int(count)
+	meta.payloadLen = int(payloadLen)
+
+	if r.version == formatVersion2 {
+		indexLen := binary.BigEndian.Uint32(pre[24:28])
+		if indexLen > maxIndexLen {
+			return meta, false, fmt.Errorf("colseg: implausible segment index length %d", indexLen)
+		}
+		r.idxBuf = grow(r.idxBuf, int(indexLen))
+		if _, err := io.ReadFull(r.br, r.idxBuf); err != nil {
+			return meta, false, fmt.Errorf("colseg: reading segment index: %w", err)
+		}
+		meta.index, err = parseIndexV2(r.idxBuf, meta.payloadLen)
+		if err != nil {
+			return meta, false, err
+		}
+	}
+	return meta, false, nil
+}
+
+// prune decides from metadata alone whether no event in the segment can
+// match the filter: the preamble time range first, then (version 2,
+// exact summaries only) host and switch membership.
+func (r *Reader) prune(meta *segMeta) (pruned, byIndex bool) {
+	if r.opts.timeActive() && (meta.maxT < r.opts.From || meta.minT >= r.opts.To) {
+		return true, false
+	}
+	if x := meta.index; x != nil {
+		if len(r.spec.hostSet) > 0 && x.hostsExact {
+			hit := false
+			for _, a4 := range x.hosts {
+				if r.spec.hostSet[a4] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return true, true
+			}
+		}
+		if len(r.spec.swSet) > 0 && x.switchesExact {
+			hit := false
+			for _, name := range x.switches {
+				if r.spec.swSet[name] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return true, true
+			}
+		}
+	}
+	return false, false
+}
+
+// skipSegment discards a pruned segment's remaining bytes (payload, plus
+// the trailing footer on version-1 files) and records the work avoided.
+func (r *Reader) skipSegment(meta *segMeta, byIndex bool) error {
+	n := meta.payloadLen
+	if r.version == formatVersion1 {
+		n += footerLenV1
+	}
+	if _, err := r.br.Discard(n); err != nil {
+		return fmt.Errorf("colseg: skipping pruned segment: %w", err)
+	}
+	if byIndex {
+		r.m.segsPrunedX.Inc()
+	} else {
+		r.m.segsPruned.Inc()
+	}
+	r.m.bytesSkip.Add(int64(meta.payloadLen))
+	return nil
+}
+
+// loadBlocks reads the segment body into slab and slices the needed
+// column blocks out of it. On version-2 files unneeded blocks are
+// skipped with Discard (their bytes never enter memory) and each loaded
+// block is CRC-checked independently; version-1 files must read the
+// whole payload to reach the footer, so "skipped" there counts decode
+// work avoided, not IO. Returns the (possibly regrown) slab.
+func (r *Reader) loadBlocks(meta *segMeta, blocks *[numColumns][]byte, slab []byte) ([]byte, error) {
+	need := r.spec.need
+	if r.version == formatVersion1 {
+		slab = grow(slab, meta.payloadLen+footerLenV1)
+		if _, err := io.ReadFull(r.br, slab); err != nil {
+			return slab, fmt.Errorf("colseg: reading segment body: %w", err)
+		}
+		payload, footer := slab[:meta.payloadLen], slab[meta.payloadLen:]
+		x, err := parseFooterV1(footer, meta.payloadLen)
+		if err != nil {
+			return slab, err
+		}
+		if got := crc32.ChecksumIEEE(payload); got != x.crcs[0] {
+			return slab, fmt.Errorf("colseg: segment CRC mismatch: computed %08x, footer %08x", got, x.crcs[0])
+		}
+		meta.index = x
+		var dec, skip int64
+		for c := 0; c < numColumns; c++ {
+			bl := x.blockLen(c, meta.payloadLen)
+			if need.has(c) {
+				blocks[c] = payload[x.offs[c] : x.offs[c]+bl]
+				dec += int64(bl)
+			} else {
+				blocks[c] = nil
+				skip += int64(bl)
+				r.m.colsSkipped.Inc()
+			}
+		}
+		r.m.bytesDec.Add(dec)
+		r.m.bytesSkip.Add(skip)
+		return slab, nil
 	}
 
-	if r.opts.filtered() && (maxT < r.opts.From || minT >= r.opts.To) {
-		// The whole segment is outside the window: prune it from
-		// metadata, skipping payload and footer without decoding.
-		if _, err := r.br.Discard(int(payloadLen) + footerLen); err != nil {
-			return fmt.Errorf("colseg: skipping pruned segment: %w", err)
+	x := meta.index
+	total := 0
+	for c := 0; c < numColumns; c++ {
+		if need.has(c) {
+			total += x.blockLen(c, meta.payloadLen)
 		}
-		r.reg.Counter("colseg.segments.pruned").Inc()
+	}
+	slab = grow(slab, total)
+	off := 0
+	var dec, skip int64
+	for c := 0; c < numColumns; c++ {
+		bl := x.blockLen(c, meta.payloadLen)
+		if !need.has(c) {
+			if _, err := r.br.Discard(bl); err != nil {
+				return slab, fmt.Errorf("colseg: skipping %s column: %w", columnNames[c], err)
+			}
+			blocks[c] = nil
+			skip += int64(bl)
+			r.m.colsSkipped.Inc()
+			continue
+		}
+		b := slab[off : off+bl]
+		if _, err := io.ReadFull(r.br, b); err != nil {
+			return slab, fmt.Errorf("colseg: reading %s column: %w", columnNames[c], err)
+		}
+		if got := crc32.ChecksumIEEE(b); got != x.crcs[c] {
+			return slab, fmt.Errorf("colseg: %s column CRC mismatch: computed %08x, index %08x", columnNames[c], got, x.crcs[c])
+		}
+		blocks[c] = b
+		off += bl
+		dec += int64(bl)
+	}
+	r.m.bytesDec.Add(dec)
+	r.m.bytesSkip.Add(skip)
+	return slab, nil
+}
+
+// nextSegment advances past end markers and pruned segments until one
+// segment has been decoded into r.seg (possibly empty after decode-time
+// filtering) or the file ends (r.done). Serial path.
+func (r *Reader) nextSegment() error {
+	meta, done, err := r.readMeta()
+	if err != nil {
+		return err
+	}
+	if done {
+		r.done = true
+		r.seg, r.pos = nil, 0
 		return nil
 	}
-
-	buf := make([]byte, int(payloadLen)+footerLen)
-	if _, err := io.ReadFull(r.br, buf); err != nil {
-		return fmt.Errorf("colseg: reading segment body: %w", err)
+	if pruned, byIndex := r.prune(&meta); pruned {
+		return r.skipSegment(&meta, byIndex)
 	}
-	payload, footer := buf[:payloadLen], buf[payloadLen:]
-	wantCRC := binary.BigEndian.Uint32(footer[numColumns*4:])
-	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return fmt.Errorf("colseg: segment CRC mismatch: computed %08x, footer %08x", got, wantCRC)
+	if r.slab, err = r.loadBlocks(&meta, &r.blocks, r.slab); err != nil {
+		return err
 	}
-	var offs [numColumns]int
-	for i := range offs {
-		offs[i] = int(binary.BigEndian.Uint32(footer[i*4 : i*4+4]))
-		if offs[i] > len(payload) || (i > 0 && offs[i] < offs[i-1]) {
-			return fmt.Errorf("colseg: corrupt column offset table")
-		}
-	}
-
+	//lint:ignore obsspan same decode stage as the parallel refill path; a reader runs exactly one of the two, so the timeline never sees both and the metric name stays comparable across modes
 	sp := r.reg.Span("colseg.decode")
-	evs, err := r.decodeSegment(payload, offs, int(count))
+	evs, filtered, err := decodeBlocks(&r.blocks, meta.count, r.spec, r.names, &r.sc)
 	sp.End()
 	if err != nil {
 		return err
 	}
-	r.reg.Counter("colseg.segments.read").Inc()
-	r.reg.Counter("colseg.events.decoded").Add(int64(len(evs)))
-	if r.opts.filtered() {
-		kept := evs[:0]
-		for i := range evs {
-			if t := evs[i].Time; t >= r.opts.From && t < r.opts.To {
-				kept = append(kept, evs[i])
-			}
-		}
-		evs = kept
-	}
+	r.m.segsRead.Inc()
+	r.m.evsDecoded.Add(int64(len(evs)))
+	r.m.evsFiltered.Add(int64(filtered))
 	r.seg, r.pos = evs, 0
 	return nil
-}
-
-// column returns the cursor over one column's block.
-func column(payload []byte, offs [numColumns]int, i int) cursor {
-	end := len(payload)
-	if i+1 < numColumns {
-		end = offs[i+1]
-	}
-	return cursor{b: payload[:end], off: offs[i]}
-}
-
-func (r *Reader) decodeSegment(payload []byte, offs [numColumns]int, count int) ([]flowlog.Event, error) {
-	evs := make([]flowlog.Event, count)
-
-	c := column(payload, offs, columnTime)
-	prev := int64(0)
-	for i := range evs {
-		d, err := c.varint()
-		if err != nil {
-			return nil, fmt.Errorf("colseg: time column: %w", err)
-		}
-		prev += d
-		evs[i].Time = time.Duration(prev)
-	}
-
-	rle := func(col int, name string, set func(*flowlog.Event, byte)) error {
-		c := column(payload, offs, col)
-		for i := 0; i < count; {
-			run, err := c.uvarint()
-			if err != nil {
-				return fmt.Errorf("colseg: %s column: %w", name, err)
-			}
-			v, err := c.byte()
-			if err != nil {
-				return fmt.Errorf("colseg: %s column: %w", name, err)
-			}
-			if run == 0 || run > uint64(count-i) {
-				return fmt.Errorf("colseg: %s column: implausible run length %d", name, run)
-			}
-			for j := 0; j < int(run); j++ {
-				set(&evs[i+j], v)
-			}
-			i += int(run)
-		}
-		return nil
-	}
-	if err := rle(columnType, "type", func(e *flowlog.Event, v byte) { e.Type = flowlog.EventType(v) }); err != nil {
-		return nil, err
-	}
-	if err := rle(columnReason, "reason", func(e *flowlog.Event, v byte) { e.Reason = v }); err != nil {
-		return nil, err
-	}
-	if err := rle(columnProto, "proto", func(e *flowlog.Event, v byte) { e.Flow.Proto = v }); err != nil {
-		return nil, err
-	}
-
-	addrCol := func(col int, name string, set func(*flowlog.Event, netip.Addr)) error {
-		c := column(payload, offs, col)
-		n, err := c.uvarint()
-		if err != nil {
-			return fmt.Errorf("colseg: %s column: %w", name, err)
-		}
-		if n > uint64(count) {
-			return fmt.Errorf("colseg: %s column: implausible dictionary size %d", name, n)
-		}
-		dict := make([]netip.Addr, n)
-		for i := range dict {
-			b, err := c.bytes(4)
-			if err != nil {
-				return fmt.Errorf("colseg: %s column: %w", name, err)
-			}
-			if a4 := [4]byte(b); a4 != ([4]byte{}) {
-				dict[i] = netip.AddrFrom4(a4)
-			}
-		}
-		for i := range evs {
-			id, err := c.uvarint()
-			if err != nil {
-				return fmt.Errorf("colseg: %s column: %w", name, err)
-			}
-			if id >= uint64(len(dict)) {
-				return fmt.Errorf("colseg: %s column: dictionary index %d out of range", name, id)
-			}
-			set(&evs[i], dict[id])
-		}
-		return nil
-	}
-	if err := addrCol(columnSrc, "src", func(e *flowlog.Event, a netip.Addr) { e.Flow.Src = a }); err != nil {
-		return nil, err
-	}
-	if err := addrCol(columnDst, "dst", func(e *flowlog.Event, a netip.Addr) { e.Flow.Dst = a }); err != nil {
-		return nil, err
-	}
-
-	uvar := func(col int, name string, set func(*flowlog.Event, uint64)) error {
-		c := column(payload, offs, col)
-		for i := range evs {
-			v, err := c.uvarint()
-			if err != nil {
-				return fmt.Errorf("colseg: %s column: %w", name, err)
-			}
-			set(&evs[i], v)
-		}
-		return nil
-	}
-	if err := uvar(columnSrcPort, "srcPort", func(e *flowlog.Event, v uint64) { e.Flow.SrcPort = uint16(v) }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnDstPort, "dstPort", func(e *flowlog.Event, v uint64) { e.Flow.DstPort = uint16(v) }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnInPort, "inPort", func(e *flowlog.Event, v uint64) { e.InPort = uint16(v) }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnOutPort, "outPort", func(e *flowlog.Event, v uint64) { e.OutPort = uint16(v) }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnDPID, "dpid", func(e *flowlog.Event, v uint64) { e.DPID = v }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnBytes, "bytes", func(e *flowlog.Event, v uint64) { e.Bytes = v }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnPackets, "packets", func(e *flowlog.Event, v uint64) { e.Packets = v }); err != nil {
-		return nil, err
-	}
-	if err := uvar(columnFlowDur, "flowDuration", func(e *flowlog.Event, v uint64) { e.FlowDuration = time.Duration(v) }); err != nil {
-		return nil, err
-	}
-
-	c = column(payload, offs, columnSwitch)
-	n, err := c.uvarint()
-	if err != nil {
-		return nil, fmt.Errorf("colseg: switch column: %w", err)
-	}
-	if n > uint64(count) {
-		return nil, fmt.Errorf("colseg: switch column: implausible dictionary size %d", n)
-	}
-	sdict := make([]string, n)
-	for i := range sdict {
-		l, err := c.uvarint()
-		if err != nil {
-			return nil, fmt.Errorf("colseg: switch column: %w", err)
-		}
-		if l > maxNameLen {
-			return nil, fmt.Errorf("colseg: switch column: implausible name length %d", l)
-		}
-		b, err := c.bytes(int(l))
-		if err != nil {
-			return nil, fmt.Errorf("colseg: switch column: %w", err)
-		}
-		name, ok := r.names[string(b)]
-		if !ok {
-			name = string(b)
-			r.names[name] = name
-		}
-		sdict[i] = name
-	}
-	for i := range evs {
-		id, err := c.uvarint()
-		if err != nil {
-			return nil, fmt.Errorf("colseg: switch column: %w", err)
-		}
-		if id >= uint64(len(sdict)) {
-			return nil, fmt.Errorf("colseg: switch column: dictionary index %d out of range", id)
-		}
-		evs[i].Switch = sdict[id]
-	}
-
-	return evs, nil
 }
 
 // ReadAll drains the reader into an in-memory log covering the file's
 // recorded bounds (or the filter window when one is set).
 func (r *Reader) ReadAll() (*flowlog.Log, error) {
-	start, end := r.start, r.end
-	if r.opts.filtered() {
-		start, end = r.opts.From, r.opts.To
-	}
+	start, end := r.Bounds()
 	out := flowlog.New(start, end)
 	for {
 		batch, err := r.Next()

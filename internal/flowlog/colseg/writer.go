@@ -37,11 +37,14 @@ type Writer struct {
 // NewWriter writes the file header for a log covering [start, end] and
 // returns a writer ready for Append.
 func NewWriter(w io.Writer, start, end time.Duration, opts WriterOptions) (*Writer, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	bw := bufio.NewWriter(w)
 	var hdr [headerLen]byte
 	copy(hdr[0:4], fileMagic)
-	hdr[4] = formatVersion
+	hdr[4] = byte(opts.FormatVersion)
 	hdr[5] = numColumns
 	binary.BigEndian.PutUint64(hdr[6:14], uint64(start))
 	binary.BigEndian.PutUint64(hdr[14:22], uint64(end))
@@ -114,7 +117,7 @@ func (w *Writer) Close() error {
 // flushSegment encodes the buffered events as one segment and writes it.
 func (w *Writer) flushSegment() error {
 	evs := w.events
-	payload, offs := encodeColumns(evs, w.scratch[:0])
+	payload, offs, sum := encodeColumns(evs, w.scratch[:0])
 	if len(payload) > maxPayloadLen {
 		return fmt.Errorf("colseg: segment payload %d bytes exceeds format cap", len(payload))
 	}
@@ -125,11 +128,23 @@ func (w *Writer) flushSegment() error {
 	seg = binary.BigEndian.AppendUint64(seg, uint64(evs[len(evs)-1].Time))
 	seg = binary.BigEndian.AppendUint32(seg, uint32(len(evs)))
 	seg = binary.BigEndian.AppendUint32(seg, uint32(len(payload)))
-	seg = append(seg, payload...)
-	for _, off := range offs {
-		seg = binary.BigEndian.AppendUint32(seg, uint32(off))
+
+	if w.opts.FormatVersion == formatVersion1 {
+		// Legacy layout: payload first, then the offsets+CRC footer.
+		seg = append(seg, payload...)
+		for _, off := range offs {
+			seg = binary.BigEndian.AppendUint32(seg, uint32(off))
+		}
+		seg = binary.BigEndian.AppendUint32(seg, crc32.ChecksumIEEE(payload))
+	} else {
+		index := encodeIndex(evs, payload, offs, sum)
+		if len(index) > maxIndexLen {
+			return fmt.Errorf("colseg: segment index %d bytes exceeds format cap", len(index))
+		}
+		seg = binary.BigEndian.AppendUint32(seg, uint32(len(index)))
+		seg = append(seg, index...)
+		seg = append(seg, payload...)
 	}
-	seg = binary.BigEndian.AppendUint32(seg, crc32.ChecksumIEEE(payload))
 	if _, err := w.bw.Write(seg); err != nil {
 		return fmt.Errorf("colseg: writing segment: %w", err)
 	}
@@ -140,10 +155,144 @@ func (w *Writer) flushSegment() error {
 	return nil
 }
 
+// segSummary carries what encodeColumns learns about a segment's
+// dictionaries while building them, so the index writer does not
+// re-derive it from the events.
+type segSummary struct {
+	srcOrder [][4]byte
+	dstOrder [][4]byte
+	swOrder  []string
+}
+
+// encodeIndex serializes a version-2 segment index: per-column offsets,
+// per-column CRCs, per-column value ranges, and the membership
+// summaries.
+func encodeIndex(evs []flowlog.Event, payload []byte, offs [numColumns]int, sum segSummary) []byte {
+	idx := make([]byte, 0, indexFixedLen+64)
+	for _, off := range offs {
+		idx = binary.BigEndian.AppendUint32(idx, uint32(off))
+	}
+	for c := 0; c < numColumns; c++ {
+		end := len(payload)
+		if c+1 < numColumns {
+			end = offs[c+1]
+		}
+		idx = binary.BigEndian.AppendUint32(idx, crc32.ChecksumIEEE(payload[offs[c]:end]))
+	}
+	for c := 0; c < numColumns; c++ {
+		lo, hi := columnRange(c, evs, sum)
+		idx = binary.BigEndian.AppendUint64(idx, lo)
+		idx = binary.BigEndian.AppendUint64(idx, hi)
+	}
+
+	// Host summary: sorted union of the src and dst dictionaries,
+	// invalid (zero) addresses excluded.
+	hosts := make([][4]byte, 0, len(sum.srcOrder)+len(sum.dstOrder))
+	seen := make(map[[4]byte]bool, len(sum.srcOrder)+len(sum.dstOrder))
+	for _, order := range [2][][4]byte{sum.srcOrder, sum.dstOrder} {
+		for _, a4 := range order {
+			if a4 == ([4]byte{}) || seen[a4] {
+				continue
+			}
+			seen[a4] = true
+			hosts = append(hosts, a4)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool {
+		return string(hosts[i][:]) < string(hosts[j][:])
+	})
+	if len(hosts) > summaryCap {
+		idx = append(idx, 1) // overflowed: membership pruning disabled
+		idx = binary.AppendUvarint(idx, 0)
+	} else {
+		idx = append(idx, 0)
+		idx = binary.AppendUvarint(idx, uint64(len(hosts)))
+		for _, a4 := range hosts {
+			idx = append(idx, a4[:]...)
+		}
+	}
+
+	// Switch summary: the sorted name dictionary (the empty name is a
+	// legitimate entry — PortStatus events carry no switch).
+	switches := append([]string(nil), sum.swOrder...)
+	sort.Strings(switches)
+	if len(switches) > summaryCap {
+		idx = append(idx, 1)
+		idx = binary.AppendUvarint(idx, 0)
+	} else {
+		idx = append(idx, 0)
+		idx = binary.AppendUvarint(idx, uint64(len(switches)))
+		for _, name := range switches {
+			idx = binary.AppendUvarint(idx, uint64(len(name)))
+			idx = append(idx, name...)
+		}
+	}
+	return idx
+}
+
+// columnRange computes one column's index stats: the (min, max) value
+// range for value columns, the dictionary cardinality (in both fields)
+// for dictionary columns.
+func columnRange(col int, evs []flowlog.Event, sum segSummary) (lo, hi uint64) {
+	switch col {
+	case columnSrc:
+		return uint64(len(sum.srcOrder)), uint64(len(sum.srcOrder))
+	case columnDst:
+		return uint64(len(sum.dstOrder)), uint64(len(sum.dstOrder))
+	case columnSwitch:
+		return uint64(len(sum.swOrder)), uint64(len(sum.swOrder))
+	}
+	get := columnValue(col)
+	lo, hi = get(&evs[0]), get(&evs[0])
+	for i := 1; i < len(evs); i++ {
+		v := get(&evs[i])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// columnValue returns the accessor for a value column's uint64 view.
+func columnValue(col int) func(*flowlog.Event) uint64 {
+	switch col {
+	case columnTime:
+		return func(e *flowlog.Event) uint64 { return uint64(e.Time) }
+	case columnType:
+		return func(e *flowlog.Event) uint64 { return uint64(e.Type) }
+	case columnReason:
+		return func(e *flowlog.Event) uint64 { return uint64(e.Reason) }
+	case columnProto:
+		return func(e *flowlog.Event) uint64 { return uint64(e.Flow.Proto) }
+	case columnSrcPort:
+		return func(e *flowlog.Event) uint64 { return uint64(e.Flow.SrcPort) }
+	case columnDstPort:
+		return func(e *flowlog.Event) uint64 { return uint64(e.Flow.DstPort) }
+	case columnInPort:
+		return func(e *flowlog.Event) uint64 { return uint64(e.InPort) }
+	case columnOutPort:
+		return func(e *flowlog.Event) uint64 { return uint64(e.OutPort) }
+	case columnDPID:
+		return func(e *flowlog.Event) uint64 { return e.DPID }
+	case columnBytes:
+		return func(e *flowlog.Event) uint64 { return e.Bytes }
+	case columnPackets:
+		return func(e *flowlog.Event) uint64 { return e.Packets }
+	case columnFlowDur:
+		return func(e *flowlog.Event) uint64 { return uint64(e.FlowDuration) }
+	}
+	panic(fmt.Sprintf("colseg: columnValue on dictionary column %d", col))
+}
+
 // encodeColumns serializes one segment's events column by column into
-// buf, returning the payload and the start offset of each column.
-func encodeColumns(evs []flowlog.Event, buf []byte) ([]byte, [numColumns]int) {
+// buf, returning the payload, the start offset of each column, and the
+// dictionary summary the index needs.
+func encodeColumns(evs []flowlog.Event, buf []byte) ([]byte, [numColumns]int, segSummary) {
 	var offs [numColumns]int
+	var sum segSummary
 
 	// time: zigzag varint of the delta from the previous event.
 	offs[columnTime] = len(buf)
@@ -175,7 +324,7 @@ func encodeColumns(evs []flowlog.Event, buf []byte) ([]byte, [numColumns]int) {
 	rle(func(e *flowlog.Event) byte { return e.Flow.Proto })
 
 	// src / dst: per-segment IPv4 dictionary + per-event index.
-	addrCol := func(get func(*flowlog.Event) netip.Addr) {
+	addrCol := func(get func(*flowlog.Event) netip.Addr) [][4]byte {
 		dict := make(map[[4]byte]int)
 		var order [][4]byte
 		idxs := make([]int, len(evs))
@@ -199,11 +348,12 @@ func encodeColumns(evs []flowlog.Event, buf []byte) ([]byte, [numColumns]int) {
 		for _, id := range idxs {
 			buf = binary.AppendUvarint(buf, uint64(id))
 		}
+		return order
 	}
 	offs[columnSrc] = len(buf)
-	addrCol(func(e *flowlog.Event) netip.Addr { return e.Flow.Src })
+	sum.srcOrder = addrCol(func(e *flowlog.Event) netip.Addr { return e.Flow.Src })
 	offs[columnDst] = len(buf)
-	addrCol(func(e *flowlog.Event) netip.Addr { return e.Flow.Dst })
+	sum.dstOrder = addrCol(func(e *flowlog.Event) netip.Addr { return e.Flow.Dst })
 
 	// Plain uvarint columns.
 	uvar := func(get func(*flowlog.Event) uint64) {
@@ -251,8 +401,9 @@ func encodeColumns(evs []flowlog.Event, buf []byte) ([]byte, [numColumns]int) {
 	for _, id := range sidxs {
 		buf = binary.AppendUvarint(buf, uint64(id))
 	}
+	sum.swOrder = sorder
 
-	return buf, offs
+	return buf, offs, sum
 }
 
 // Write serializes a whole log in the FDC1 format. An unsorted log is

@@ -3,6 +3,8 @@ package flowdiff
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/netip"
 	"time"
 
 	"flowdiff/internal/core/appgroup"
@@ -259,6 +261,39 @@ func (m *Monitor) signaturesFor(ctx context.Context, log *Log, occs []signature.
 	}
 	p.SetGroups(m.groups)
 	return signaturesFromPipeline(ctx, log, p, m.opts)
+}
+
+// RediagnoseWindow re-runs one window's diagnosis from an archived FDC1
+// capture — the drill-down path: a live window raised an alarm, the
+// operator re-reads just that window (optionally narrowed to suspect
+// hosts) from the on-disk log and diffs it against the same frozen
+// baseline. The columnar read is query-aware: segments outside the
+// window (or, on current-format files, segments whose index proves none
+// of the hosts appear) are pruned before any payload decode, so the
+// cost scales with the window, not the capture.
+//
+// The window's events stream straight into the signature build and are
+// never materialized; task detection needs the raw event sequence, so
+// re-diagnosed reports skip task replay and classify changes against
+// the baseline alone. The report is not appended to Reports. A window
+// with no matching events returns ErrEmptyLog wrapped.
+func (m *Monitor) RediagnoseWindow(ctx context.Context, r io.Reader, from, to time.Duration, hosts []netip.Addr) (*MonitorReport, error) {
+	src, err := NewColumnarSourceOptionsContext(ctx, r, ColumnarOptions{
+		Filter: ReadFilter{From: from, To: to, Hosts: hosts},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: monitor rediagnose: %w", err)
+	}
+	cur, err := BuildSignaturesReaderContext(ctx, src, m.opts)
+	if err != nil {
+		return nil, fmt.Errorf("flowdiff: monitor rediagnose: %w", err)
+	}
+	changes := DiffContext(ctx, m.baseline, cur, m.th)
+	return &MonitorReport{
+		From:   from,
+		To:     to,
+		Report: DiagnoseContext(ctx, changes, nil, m.opts),
+	}, nil
 }
 
 // Reports returns every report produced so far.

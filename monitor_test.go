@@ -1,6 +1,7 @@
 package flowdiff
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net/netip"
@@ -11,6 +12,8 @@ import (
 
 	"flowdiff/internal/faults"
 	"flowdiff/internal/flowlog"
+	"flowdiff/internal/flowlog/colseg"
+	"flowdiff/internal/obs"
 	"flowdiff/internal/workload"
 )
 
@@ -367,5 +370,79 @@ func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
 	want := Diagnose(changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
 	if !reflect.DeepEqual(rep.Report, want) {
 		t.Error("retried report differs from batch rebuild of the full window")
+	}
+}
+
+// TestMonitorRediagnoseWindow drives a monitored fault run, archives the
+// live stream as an FDC1 capture, and re-diagnoses an alarmed window
+// from disk — the drill-down path. The re-read is query-aware, so the
+// capture's segments outside the window must be pruned without decode.
+func TestMonitorRediagnoseWindow(t *testing.T) {
+	m, res := driveMonitor(t, Scenario{
+		Seed:   201,
+		Faults: []faults.Injector{faults.AppCrash{Host: "S3"}},
+	}, time.Minute)
+	alarms := m.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("app crash never raised an alarm")
+	}
+	a := alarms[0]
+
+	var buf bytes.Buffer
+	if err := colseg.Write(&buf, res.L2, colseg.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	reg := obs.New()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	nReports := len(m.Reports())
+	rep, err := m.RediagnoseWindow(ctx, bytes.NewReader(raw), a.From, a.To, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != a.From || rep.To != a.To {
+		t.Errorf("report covers [%v,%v), want the queried [%v,%v)", rep.From, rep.To, a.From, a.To)
+	}
+	if len(rep.Report.Unknown) == 0 {
+		t.Error("re-diagnosed alarm window reports no unexplained changes")
+	}
+	found := false
+	for _, c := range rep.Report.Ranking {
+		if c.Component == "S3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("re-diagnosed window does not implicate the crashed server")
+	}
+	if len(m.Reports()) != nReports {
+		t.Error("RediagnoseWindow appended to the monitor's report log")
+	}
+	// The 3-minute capture holds ~6 default-width segments; a 1-minute
+	// window must prune the rest before any payload decode.
+	if got := reg.Counter("colseg.segments.pruned").Value(); got == 0 {
+		t.Error("windowed re-read pruned no segments")
+	}
+
+	// Narrowing to the suspect host still produces a report (the
+	// membership-filter path through the same capture).
+	var host netip.Addr
+	for _, e := range res.L2.Events {
+		if e.Time >= a.From && e.Time < a.To && e.Flow.Src.IsValid() {
+			host = e.Flow.Src
+			break
+		}
+	}
+	if !host.IsValid() {
+		t.Fatal("no flow events inside the alarmed window")
+	}
+	if _, err := m.RediagnoseWindow(ctx, bytes.NewReader(raw), a.From, a.To, []netip.Addr{host}); err != nil {
+		t.Fatalf("host-narrowed rediagnose: %v", err)
+	}
+
+	// A window past the capture's end holds no events.
+	if _, err := m.RediagnoseWindow(ctx, bytes.NewReader(raw), res.L2.End+time.Minute, res.L2.End+2*time.Minute, nil); !errors.Is(err, ErrEmptyLog) {
+		t.Errorf("empty window returned %v, want ErrEmptyLog", err)
 	}
 }

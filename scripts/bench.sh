@@ -18,7 +18,7 @@ while [ -e "bench_results/BENCH_${n}.json" ]; do n=$((n + 1)); done
 out="bench_results/BENCH_${n}.json"
 
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover|BenchmarkRankSuspects|BenchmarkReadColumnar|BenchmarkWriteColumnar|BenchmarkBuildFromReader|BenchmarkCompressionRatio}"
+filter="${BENCH_FILTER:-BenchmarkBuildSignatures|BenchmarkOccurrences|BenchmarkMonitorFlush|BenchmarkAnalyzeStability|BenchmarkMine|BenchmarkDiscover|BenchmarkRankSuspects|BenchmarkReadColumnar|BenchmarkWriteColumnar|BenchmarkBuildFromReader|BenchmarkCompressionRatio|BenchmarkQueryRead}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -56,6 +56,17 @@ BEGIN { printf "{\n  \"schema\": 2,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \
 			if ($(i + 1) == "json/fdc1-ratio") jsonratio = $i
 			if ($(i + 1) == "fdc1-bytes/event") fdcbytes = $i
 		}
+		# Surface the query-aware read engine numbers as a top-level
+		# read object: per query shape, events/sec plus the payload
+		# bytes the query decoded vs skipped.
+		if (name ~ /^BenchmarkQueryRead\//) {
+			v = name
+			sub(/^BenchmarkQueryRead\//, "", v)
+			sub(/-[0-9]+$/, "", v)
+			if ($(i + 1) == "events/sec") read_eps[v] = $i
+			if ($(i + 1) == "decoded-B") read_dec[v] = $i
+			if ($(i + 1) == "skipped-B") read_skip[v] = $i
+		}
 	}
 	if (nbench > 0) benches = benches ",\n"
 	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
@@ -67,6 +78,16 @@ END {
 	printf "  \"gomaxprocs\": %s,\n  \"cpu\": \"%s\",\n", gomaxprocs, cpu
 	if (fdl1ratio != "")
 		printf "  \"compression\": {\"fdc1_bytes_per_event\": %s, \"fdl1_over_fdc1\": %s, \"json_over_fdc1\": %s},\n", fdcbytes, fdl1ratio, jsonratio
+	nshapes = split("full projected pruned parallel", shapes, " ")
+	readobj = ""
+	for (j = 1; j <= nshapes; j++) {
+		v = shapes[j]
+		if (!(v in read_eps)) continue
+		if (readobj != "") readobj = readobj ", "
+		readobj = readobj sprintf("\"%s\": {\"events_per_sec\": %s, \"bytes_decoded\": %s, \"bytes_skipped\": %s}", v, read_eps[v], read_dec[v], read_skip[v])
+	}
+	if (readobj != "")
+		printf "  \"read\": {%s},\n", readobj
 	printf "  \"benchmarks\": [\n%s\n  ]\n}\n", benches
 }' "$raw" > "$out"
 

@@ -112,6 +112,13 @@ go test -race ./...
 # engine): corrupted or hostile captures must fail with wrapped errors,
 # never a panic or an unbounded allocation.
 go test -run '^Fuzz' ./internal/flowlog/...
+# Query-equivalence smoke: projected, index-pruned, and parallel reads
+# must be reflect.DeepEqual to the full serial read — at the colseg
+# layer over both format versions, and through the public API on the
+# canonical scenario capture. A read engine that silently dropped or
+# reordered events would pass the benches but fail here.
+go test -count=1 -run 'TestQueryReadsMatchReference|TestParallelDecodeMatchesSerial' ./internal/flowlog/colseg
+go test -count=1 -run TestQueryReadsEquivalentOnScenarioCapture .
 # Localization-accuracy smoke: the evidence-voting suspect ranker must
 # keep top-1 >= 80% and top-3 >= 95% across 10 seeds on each fabric
 # fault scenario, and strictly beat the change-count baseline on

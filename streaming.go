@@ -20,6 +20,55 @@ type Event = flowlog.Event
 // a 100M-event capture without ever holding its event slice in memory.
 type EventSource = signature.EventSource
 
+// ReadFilter restricts a columnar read to a query's events: a time
+// window ([From, To), active when To > From), a host set (flow source
+// or destination), and/or a switch set, composed with logical AND.
+// Whole segments the on-disk index proves irrelevant are pruned before
+// any payload byte is read; within overlapping segments, non-matching
+// events are dropped at decode time, never materialized.
+type ReadFilter = colseg.Filter
+
+// ColumnSet selects event fields for a projected columnar read; zero
+// selects every column. See the Col* constants.
+type ColumnSet = colseg.ColumnSet
+
+// Projectable columns for ColumnarOptions.Columns. Combine with |:
+// ColTime | ColSrc | ColDst is the flow-endpoint projection window
+// counting and suspect-flow resolution need. Unprojected columns leave
+// their event fields at the zero value and their payload blocks are
+// never decoded.
+const (
+	ColTime         = colseg.ColTime
+	ColType         = colseg.ColType
+	ColReason       = colseg.ColReason
+	ColProto        = colseg.ColProto
+	ColSrc          = colseg.ColSrc
+	ColDst          = colseg.ColDst
+	ColSrcPort      = colseg.ColSrcPort
+	ColDstPort      = colseg.ColDstPort
+	ColInPort       = colseg.ColInPort
+	ColOutPort      = colseg.ColOutPort
+	ColDPID         = colseg.ColDPID
+	ColBytes        = colseg.ColBytes
+	ColPackets      = colseg.ColPackets
+	ColFlowDuration = colseg.ColFlowDuration
+	ColSwitch       = colseg.ColSwitch
+	AllColumns      = colseg.AllColumns
+	FlowColumns     = colseg.FlowColumns
+)
+
+// ColumnarOptions tunes a query-aware columnar read: what to keep
+// (Filter), what to decode (Columns), and how wide to decode it
+// (Parallelism). The zero options read everything serially.
+type ColumnarOptions struct {
+	Filter  ReadFilter
+	Columns ColumnSet
+	// Parallelism > 1 decodes segments concurrently behind a bounded
+	// readahead that delivers batches strictly in file order — output is
+	// identical to a serial read at every worker count.
+	Parallelism int
+}
+
 // NewColumnarSource is NewColumnarSourceContext with a background
 // context.
 func NewColumnarSource(r io.Reader) (EventSource, error) {
@@ -32,7 +81,32 @@ func NewColumnarSource(r io.Reader) (EventSource, error) {
 // events decode lazily, one bounded batch at a time, with decode
 // metrics going to the context's obs registry.
 func NewColumnarSourceContext(ctx context.Context, r io.Reader) (EventSource, error) {
-	cr, err := colseg.NewReaderContext(ctx, r, colseg.ReaderOptions{})
+	return NewColumnarSourceOptionsContext(ctx, r, ColumnarOptions{})
+}
+
+// NewColumnarSourceOptions is NewColumnarSourceOptionsContext with a
+// background context.
+func NewColumnarSourceOptions(r io.Reader, o ColumnarOptions) (EventSource, error) {
+	return NewColumnarSourceOptionsContext(context.Background(), r, o)
+}
+
+// NewColumnarSourceOptionsContext opens an FDC1 stream as an
+// EventSource with a query attached: the filter prunes segments from
+// the on-disk index and drops non-matching events at decode time, the
+// projection decodes only the selected columns, and Parallelism > 1
+// decodes segments concurrently with deterministic, file-ordered
+// delivery. Counters in the context's obs registry
+// (colseg.segments.pruned_by_index, colseg.columns.skipped,
+// colseg.events.filtered, colseg.bytes.decoded / .skipped) record the
+// work avoided. A time-filtered source reports the filter window from
+// Bounds, so signatures built from it cover exactly the queried
+// interval.
+func NewColumnarSourceOptionsContext(ctx context.Context, r io.Reader, o ColumnarOptions) (EventSource, error) {
+	cr, err := colseg.NewReaderContext(ctx, r, colseg.ReaderOptions{
+		Filter:      o.Filter,
+		Columns:     o.Columns,
+		Parallelism: o.Parallelism,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("flowdiff: opening columnar log: %w: %w", ErrBadLog, err)
 	}

@@ -3,6 +3,7 @@ package flowdiff_test
 import (
 	"bytes"
 	"errors"
+	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -281,5 +282,121 @@ func BenchmarkBuildFromReader(b *testing.B) {
 		if len(sigs.Apps) == 0 {
 			b.Fatal("no app signatures")
 		}
+	}
+}
+
+// drainSource pulls every batch out of an EventSource.
+func drainSource(t testing.TB, src flowdiff.EventSource) []flowdiff.Event {
+	t.Helper()
+	var all []flowdiff.Event
+	for {
+		batch, err := src.Next()
+		if err == io.EOF {
+			return all
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+	}
+}
+
+// TestQueryReadsEquivalentOnScenarioCapture is the equivalence suite on
+// the canonical scenario capture through the public API: projected,
+// filtered, and parallel reads must agree with the full serial read
+// (reflect.DeepEqual) at workers 1/2/4/7. Run under -race in CI.
+func TestQueryReadsEquivalentOnScenarioCapture(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	res, err := flowdiff.RunScenario(flowdiff.Scenario{
+		Seed: 301, Case: 1,
+		BaselineDur: 30 * time.Second, FaultDur: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := colseg.Write(&buf, res.L1, colseg.WriterOptions{SegmentDuration: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	drain := func(o flowdiff.ColumnarOptions) []flowdiff.Event {
+		src, err := flowdiff.NewColumnarSourceOptions(bytes.NewReader(raw), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drainSource(t, src)
+	}
+
+	full := drain(flowdiff.ColumnarOptions{})
+	if !reflect.DeepEqual(full, res.L1.Events) {
+		t.Fatalf("full serial read returned %d events, capture has %d", len(full), len(res.L1.Events))
+	}
+
+	// Parallel decode is byte-identical to serial at every worker count.
+	for _, workers := range []int{1, 2, 4, 7} {
+		got := drain(flowdiff.ColumnarOptions{Parallelism: workers})
+		if !reflect.DeepEqual(got, full) {
+			t.Errorf("workers=%d: parallel read diverges from serial", workers)
+		}
+	}
+
+	// Projection: unprojected fields read as zero, everything else is
+	// identical to the full read.
+	proj := drain(flowdiff.ColumnarOptions{Columns: flowdiff.ColTime | flowdiff.ColSrc | flowdiff.ColDst})
+	if len(proj) != len(full) {
+		t.Fatalf("projected read returned %d events, want %d", len(proj), len(full))
+	}
+	for i := range proj {
+		want := flowdiff.Event{Time: full[i].Time}
+		want.Flow.Src = full[i].Flow.Src
+		want.Flow.Dst = full[i].Flow.Dst
+		if proj[i] != want {
+			t.Fatalf("event %d: projected read = %+v, want %+v", i, proj[i], want)
+		}
+	}
+
+	// A host-pair time window, decoded in parallel, matches the
+	// in-memory reference filter.
+	var hosts []netip.Addr
+	for _, e := range full {
+		if e.Flow.Src.IsValid() {
+			hosts = []netip.Addr{e.Flow.Src, e.Flow.Dst}
+			break
+		}
+	}
+	if hosts == nil {
+		t.Fatal("no flow events in the scenario capture")
+	}
+	f := flowdiff.ReadFilter{From: 10 * time.Second, To: 25 * time.Second, Hosts: hosts}
+	got := drain(flowdiff.ColumnarOptions{Filter: f, Parallelism: 4})
+	hostSet := map[netip.Addr]bool{hosts[0]: true, hosts[1]: true}
+	want := []flowdiff.Event{}
+	for _, e := range full {
+		if e.Time < f.From || e.Time >= f.To {
+			continue
+		}
+		if !hostSet[e.Flow.Src] && !hostSet[e.Flow.Dst] {
+			continue
+		}
+		want = append(want, e)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference filter kept no events; widen the fixture window")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("filtered parallel read: %d events diverge from the %d-event reference", len(got), len(want))
+	}
+
+	// A time-filtered source reports the window from Bounds, so a
+	// signature build over it covers exactly the queried interval.
+	src, err := flowdiff.NewColumnarSourceOptions(bytes.NewReader(raw), flowdiff.ColumnarOptions{Filter: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from, to := src.Bounds(); from != f.From || to != f.To {
+		t.Errorf("filtered source Bounds() = [%v, %v], want the filter window", from, to)
 	}
 }
