@@ -8,6 +8,7 @@
 package flowdiff_test
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"runtime"
@@ -137,18 +138,18 @@ func BenchmarkDiffPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	opts := res.Options()
-	base, err := flowdiff.BuildSignatures(res.L1, opts)
+	base, err := flowdiff.BuildSignatures(context.Background(), res.L1, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cur, err := flowdiff.BuildSignatures(res.L2, opts)
+	cur, err := flowdiff.BuildSignatures(context.Background(), res.L2, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
-		flowdiff.Diagnose(changes, nil, opts)
+		changes := flowdiff.Diff(context.Background(), base, cur, flowdiff.Thresholds{})
+		flowdiff.Diagnose(context.Background(), changes, nil, opts)
 	}
 }
 
@@ -219,7 +220,7 @@ func BenchmarkBuildSignatures(b *testing.B) {
 				opts := flowdiff.Options{Parallelism: workers}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := flowdiff.BuildSignatures(log, opts); err != nil {
+					if _, err := flowdiff.BuildSignatures(context.Background(), log, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -267,17 +268,17 @@ func BenchmarkMonitorFlush(b *testing.B) {
 		b.Run(fmt.Sprintf("windows=%d", windows), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer() // the one-off baseline build is not per-window cost
-				m, err := flowdiff.NewMonitor(baseline, window, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				m, err := flowdiff.NewMonitor(context.Background(), baseline, window, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
 				for _, e := range stream.Events {
-					if _, err := m.Observe(e); err != nil {
+					if _, err := m.Observe(context.Background(), e); err != nil {
 						b.Fatal(err)
 					}
 				}
-				if _, err := m.Flush(); err != nil {
+				if _, err := m.Flush(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 				if got := len(m.Reports()); got < windows-1 {

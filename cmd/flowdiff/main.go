@@ -8,7 +8,7 @@
 //	flowdiff -baseline l1.json -current l2.json
 //	flowdiff -baseline l1.json -current l2.json -topo lab
 //	flowdiff -baseline l1.json -current l2.json -stats
-//	flowdiff serve -baseline l1.json -current l2.json
+//	flowdiff serve -addr 127.0.0.1:8080 -dir ./flowdiff-data
 //	flowdiff convert -in l1.json -out l1.fdc -to columnar
 //	flowdiff inspect l1.fdc
 //	flowdiff inspect -columns l1.fdc
@@ -21,12 +21,16 @@
 // without decoding any payload: it shows exactly what a query-aware
 // read gets to prune on.
 //
-// The serve subcommand keeps the process alive after printing the
-// report, exposing /metrics (the obs snapshot), /debug/vars, and
-// /debug/pprof/ on -metrics-addr (default 127.0.0.1:8080) until
-// interrupted. Without the subcommand, -metrics-addr serves the same
-// endpoints only for the lifetime of the comparison, and -stats prints
-// a human-readable stage-timing summary to stderr at exit.
+// The serve subcommand runs the multi-tenant diagnosis service: each
+// tenant uploads a baseline (PUT /v1/tenants/{id}/baseline), streams
+// current events (POST /v1/tenants/{id}/events, any serialization),
+// and reads back per-window reports (GET /v1/tenants/{id}/reports)
+// identical to an offline Monitor run over the same events. The same
+// listener exposes /metrics, /debug/vars, and /debug/pprof/. Serve
+// takes no -baseline/-current flags — baselines are per tenant, over
+// the API. For the one-shot comparison, -metrics-addr serves the obs
+// endpoints for the lifetime of the run, and -stats prints a
+// human-readable stage-timing summary to stderr at exit.
 package main
 
 import (
@@ -34,7 +38,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 
 	"flowdiff"
 	"flowdiff/internal/obs"
@@ -56,16 +59,15 @@ func run() error {
 	if len(args) > 0 && args[0] == "inspect" {
 		return runInspect(args[1:])
 	}
-	serveMode := len(args) > 0 && args[0] == "serve"
-	if serveMode {
-		args = args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:])
 	}
 	fs := flag.NewFlagSet("flowdiff", flag.ExitOnError)
 	var (
 		baselinePath = fs.String("baseline", "", "baseline (L1) log JSON")
 		currentPath  = fs.String("current", "", "current (L2) log JSON")
 		topoFlag     = fs.String("topo", "lab", "topology for host naming: lab | tree320 | none")
-		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (serve subcommand defaults to 127.0.0.1:8080)")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address for the lifetime of the comparison")
 		stats        = fs.Bool("stats", false, "print an end-of-run metrics summary to stderr")
 	)
 	// ExitOnError: Parse never returns a non-nil error to us.
@@ -107,13 +109,9 @@ func run() error {
 	// else using obs.Default in-process.
 	reg := obs.New()
 	ctx := obs.WithRegistry(context.Background(), reg)
-	addr := *metricsAddr
-	if serveMode && addr == "" {
-		addr = "127.0.0.1:8080"
-	}
 	var stopMetrics func() error
-	if addr != "" {
-		bound, stop, err := obs.Serve(addr, reg)
+	if *metricsAddr != "" {
+		bound, stop, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			return fmt.Errorf("starting metrics server: %w", err)
 		}
@@ -121,7 +119,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "flowdiff: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", bound)
 	}
 
-	report, err := flowdiff.CompareContext(ctx, l1, l2, nil, flowdiff.Thresholds{}, opts)
+	report, err := flowdiff.Compare(ctx, l1, l2, nil, flowdiff.Thresholds{}, opts)
 	if err != nil {
 		return err
 	}
@@ -131,7 +129,7 @@ func run() error {
 
 	if len(report.Known)+len(report.Unknown) == 0 {
 		fmt.Println("no behavioral changes detected")
-		return finish(serveMode, *stats, reg, stopMetrics)
+		return finish(*stats, reg, stopMetrics)
 	}
 	if len(report.Known) > 0 {
 		fmt.Printf("KNOWN changes (explained by operator tasks): %d\n", len(report.Known))
@@ -174,24 +172,17 @@ func run() error {
 				s.Score, kind, s.Component, s.Votes, s.Flows)
 		}
 	}
-	return finish(serveMode, *stats, reg, stopMetrics)
+	return finish(*stats, reg, stopMetrics)
 }
 
 // finish handles the post-report tail shared by every exit path that
-// produced output: the -stats summary, the serve subcommand's blocking
-// wait, and metrics-listener shutdown.
-func finish(serveMode, stats bool, reg *obs.Registry, stopMetrics func() error) error {
+// produced output: the -stats summary and metrics-listener shutdown.
+func finish(stats bool, reg *obs.Registry, stopMetrics func() error) error {
 	if stats {
 		fmt.Fprintln(os.Stderr)
 		if err := obs.WriteSummary(os.Stderr, reg.Snapshot()); err != nil {
 			return err
 		}
-	}
-	if serveMode {
-		fmt.Fprintln(os.Stderr, "flowdiff: report complete; metrics endpoints stay up (interrupt to exit)")
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
 	}
 	if stopMetrics != nil {
 		return stopMetrics()

@@ -50,7 +50,7 @@ func run() error {
 
 	reg := obs.New()
 	ctx := obs.WithRegistry(context.Background(), reg)
-	if _, err := flowdiff.CompareContext(ctx, res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options()); err != nil {
+	if _, err := flowdiff.Compare(ctx, res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options()); err != nil {
 		return err
 	}
 	_, err = fmt.Println(reg.String())

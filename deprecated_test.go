@@ -1,0 +1,86 @@
+package flowdiff
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDeprecatedForwardersStillWork pins the deprecation policy: the
+// pre-redesign *Context spellings remain thin forwarders onto the
+// canonical context-first names, returning identical results. New code
+// must not use them (flowdifflint's ctxflow enforces the idiom), but
+// existing callers keep compiling and behaving until the next major
+// version removes them.
+func TestDeprecatedForwardersStillWork(t *testing.T) {
+	res, err := RunScenario(Scenario{Seed: 11, Case: 1, BaselineDur: 20 * time.Second, FaultDur: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	ctx := context.Background()
+	opts := res.Options()
+
+	canonical, err := BuildSignatures(ctx, res.L1, opts)
+	if err != nil {
+		t.Fatalf("BuildSignatures: %v", err)
+	}
+	forwarded, err := BuildSignaturesContext(ctx, res.L1, opts)
+	if err != nil {
+		t.Fatalf("BuildSignaturesContext: %v", err)
+	}
+	if !reflect.DeepEqual(forwarded.Apps, canonical.Apps) || !reflect.DeepEqual(forwarded.Infra, canonical.Infra) {
+		t.Error("BuildSignaturesContext diverges from BuildSignatures")
+	}
+
+	cur, err := BuildSignatures(ctx, res.L2, opts)
+	if err != nil {
+		t.Fatalf("BuildSignatures(L2): %v", err)
+	}
+	changes := Diff(ctx, canonical, cur, Thresholds{})
+	fwdChanges := DiffContext(ctx, forwarded, cur, Thresholds{})
+	if !reflect.DeepEqual(fwdChanges, changes) {
+		t.Error("DiffContext diverges from Diff")
+	}
+
+	rep, err := Compare(ctx, res.L1, res.L2, nil, Thresholds{}, opts)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	fwdRep, err := CompareContext(ctx, res.L1, res.L2, nil, Thresholds{}, opts)
+	if err != nil {
+		t.Fatalf("CompareContext: %v", err)
+	}
+	if !reflect.DeepEqual(fwdRep, rep) {
+		t.Error("CompareContext diverges from Compare")
+	}
+
+	mon, err := NewMonitor(ctx, res.L1, 10*time.Second, nil, Thresholds{}, opts)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	for _, e := range res.L2.Events {
+		if _, err := mon.ObserveContext(ctx, e); err != nil {
+			t.Fatalf("ObserveContext: %v", err)
+		}
+	}
+	if _, err := mon.FlushContext(ctx); err != nil {
+		t.Fatalf("FlushContext: %v", err)
+	}
+
+	mon2, err := NewMonitor(ctx, res.L1, 10*time.Second, nil, Thresholds{}, opts)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	for _, e := range res.L2.Events {
+		if _, err := mon2.Observe(ctx, e); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if _, err := mon2.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if !reflect.DeepEqual(mon.Reports(), mon2.Reports()) {
+		t.Error("ObserveContext/FlushContext monitor run diverges from Observe/Flush")
+	}
+}

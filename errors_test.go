@@ -1,6 +1,7 @@
 package flowdiff
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -19,12 +20,12 @@ import (
 func TestObserveOutOfOrderSentinel(t *testing.T) {
 	baseline := flowlog.New(0, 2*time.Minute)
 	baseline.Events = monitorChainEvents(0, 2*time.Minute, 200*time.Millisecond)
-	m, err := NewMonitor(baseline, time.Minute, nil, Thresholds{}, Options{})
+	m, err := NewMonitor(context.Background(), baseline, time.Minute, nil, Thresholds{}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	stale := monitorChainEvents(time.Minute, time.Minute+time.Second, 500*time.Millisecond)[0]
-	_, err = m.Observe(stale)
+	_, err = m.Observe(context.Background(), stale)
 	if err == nil {
 		t.Fatal("observing a pre-window event succeeded")
 	}
@@ -35,7 +36,7 @@ func TestObserveOutOfOrderSentinel(t *testing.T) {
 
 // A stream that is not a columnar log must surface as ErrBadLog.
 func TestColumnarSourceBadLogSentinel(t *testing.T) {
-	_, err := NewColumnarSource(strings.NewReader("definitely not an FDC1 stream"))
+	_, err := NewColumnarSource(context.Background(), strings.NewReader("definitely not an FDC1 stream"))
 	if err == nil {
 		t.Fatal("opening garbage as a columnar source succeeded")
 	}

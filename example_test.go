@@ -1,6 +1,7 @@
 package flowdiff_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options())
+	report, err := flowdiff.Compare(context.Background(), res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options())
 	if err != nil {
 		log.Fatal(err)
 	}

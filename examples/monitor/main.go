@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	res, err := flowdiff.RunScenario(flowdiff.Scenario{
 		Seed:        11,
 		BaselineDur: 3 * time.Minute,
@@ -29,7 +31,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mon, err := flowdiff.NewMonitor(res.L1, time.Minute, nil, flowdiff.Thresholds{}, res.Options())
+	mon, err := flowdiff.NewMonitor(ctx, res.L1, time.Minute, nil, flowdiff.Thresholds{}, res.Options())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func main() {
 
 	// Replay the live stream.
 	for _, e := range res.L2.Events {
-		rep, err := mon.Observe(e)
+		rep, err := mon.Observe(ctx, e)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +48,7 @@ func main() {
 			printWindow(rep)
 		}
 	}
-	if rep, err := mon.Flush(); err != nil {
+	if rep, err := mon.Flush(ctx); err != nil {
 		log.Fatal(err)
 	} else if rep != nil {
 		printWindow(rep)

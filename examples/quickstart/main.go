@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// RunScenario drives the paper's lab testbed (25 servers + 5 VMs,
 	// 7 OpenFlow switches) with the case-5 three-tier applications,
 	// captures baseline log L1, injects the fault, and captures L2.
@@ -26,7 +28,7 @@ func main() {
 	}
 
 	// One call: model both logs, diff signatures, diagnose.
-	report, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options())
+	report, err := flowdiff.Compare(ctx, res.L1, res.L2, nil, flowdiff.Thresholds{}, res.Options())
 	if err != nil {
 		log.Fatal(err)
 	}

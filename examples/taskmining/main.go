@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	script := workload.VMMigration("V1", "V2", "NFS")
 
 	// 1. Train: execute the migration repeatedly on a quiet fabric and
@@ -35,7 +37,7 @@ func main() {
 	for _, r := range train.TaskRuns {
 		runs = append(runs, r.Flows)
 	}
-	automaton, err := flowdiff.MineTask("vm-migration", runs, flowdiff.TaskConfig{})
+	automaton, err := flowdiff.MineTask(ctx, "vm-migration", runs, flowdiff.TaskConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,16 +61,16 @@ func main() {
 	// 3. Validate: the migration's flows created new CG edges; with the
 	//    task time series available they are explained away.
 	opts := busy.Options()
-	base, err := flowdiff.BuildSignatures(busy.L1, opts)
+	base, err := flowdiff.BuildSignatures(ctx, busy.L1, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cur, err := flowdiff.BuildSignatures(busy.L2, opts)
+	cur, err := flowdiff.BuildSignatures(ctx, busy.L2, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
-	report := flowdiff.Diagnose(changes, detections, opts)
+	changes := flowdiff.Diff(ctx, base, cur, flowdiff.Thresholds{})
+	report := flowdiff.Diagnose(ctx, changes, detections, opts)
 	fmt.Printf("\nchanges: %d known (explained by the migration), %d unknown\n",
 		len(report.Known), len(report.Unknown))
 	for _, c := range report.Known {

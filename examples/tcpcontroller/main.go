@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	topo, err := topology.Lab()
 	if err != nil {
 		log.Fatal(err)
@@ -96,7 +98,7 @@ func main() {
 	time.Sleep(100 * time.Millisecond) // let in-flight messages land
 	capture := srv.Log()
 	fmt.Printf("\ncontroller log: %d events\n", len(capture.Events))
-	sigs, err := flowdiff.BuildSignatures(capture, flowdiff.Options{
+	sigs, err := flowdiff.BuildSignatures(ctx, capture, flowdiff.Options{
 		Topo: topo, Special: topology.ServiceNodes,
 	})
 	if err != nil {

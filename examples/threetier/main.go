@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	scenarios := []struct {
 		name  string
 		fault faults.Injector
@@ -37,16 +39,16 @@ func main() {
 			log.Fatal(err)
 		}
 		opts := res.Options()
-		base, err := flowdiff.BuildSignatures(res.L1, opts)
+		base, err := flowdiff.BuildSignatures(ctx, res.L1, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cur, err := flowdiff.BuildSignatures(res.L2, opts)
+		cur, err := flowdiff.BuildSignatures(ctx, res.L2, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
-		report := flowdiff.Diagnose(changes, nil, opts)
+		changes := flowdiff.Diff(ctx, base, cur, flowdiff.Thresholds{})
+		report := flowdiff.Diagnose(ctx, changes, nil, opts)
 
 		if len(report.Unknown) == 0 {
 			fmt.Println("  no changes detected")

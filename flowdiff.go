@@ -132,12 +132,16 @@ type Signatures struct {
 	opts      Options
 }
 
-// BuildSignatures is BuildSignaturesContext with a background context.
-func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
-	return BuildSignaturesContext(context.Background(), log, opts)
+// BuildSignaturesContext is a deprecated spelling of BuildSignatures.
+//
+// Deprecated: the public API is context-first — call BuildSignatures
+// directly. This thin forwarder remains only so pre-redesign callers
+// keep compiling; see the README's deprecation policy.
+func BuildSignaturesContext(ctx context.Context, log *Log, opts Options) (*Signatures, error) {
+	return BuildSignatures(ctx, log, opts)
 }
 
-// BuildSignaturesContext runs FlowDiff's modeling phase on a log. The
+// BuildSignatures runs FlowDiff's modeling phase on a log. The
 // phase is single-pass: flow occurrences are extracted once — sharded
 // by flow-key hash across the worker pool on large logs — and shared by
 // the application, infrastructure, and stability builds, which fan out
@@ -148,7 +152,7 @@ func BuildSignatures(log *Log, opts Options) (*Signatures, error) {
 // and returns ErrCanceled wrapping ctx.Err(). Stage timings and
 // counters go to the obs registry traveling in ctx (obs.Default when
 // none does); instrumentation never changes the output.
-func BuildSignaturesContext(ctx context.Context, log *Log, opts Options) (*Signatures, error) {
+func BuildSignatures(ctx context.Context, log *Log, opts Options) (*Signatures, error) {
 	if log == nil || len(log.Events) == 0 {
 		return nil, fmt.Errorf("flowdiff: building signatures: %w", ErrEmptyLog)
 	}
@@ -195,35 +199,39 @@ func canceled(ctx context.Context) error {
 
 // Diff compares a baseline's signatures against a current log's
 // signatures; the baseline's stability report filters unstable
-// components.
-func Diff(base, cur *Signatures, th Thresholds) []Change {
-	return DiffContext(context.Background(), base, cur, th)
-}
-
-// DiffContext is Diff with the comparison timed into ctx's obs registry
-// (span "diff.compare", counter "diff.changes"). The diff itself is a
-// single in-memory pass and is not cancellable.
-func DiffContext(ctx context.Context, base, cur *Signatures, th Thresholds) []Change {
+// components. The comparison is timed into ctx's obs registry (span
+// "diff.compare", counter "diff.changes"); the diff itself is a single
+// in-memory pass and is not cancellable.
+func Diff(ctx context.Context, base, cur *Signatures, th Thresholds) []Change {
 	if base == nil || cur == nil {
 		return nil
 	}
 	return diff.CompareContext(ctx, base.Apps, cur.Apps, base.Infra, cur.Infra, base.Stability, th)
 }
 
+// DiffContext is a deprecated spelling of Diff.
+//
+// Deprecated: the public API is context-first — call Diff directly.
+func DiffContext(ctx context.Context, base, cur *Signatures, th Thresholds) []Change {
+	return Diff(ctx, base, cur, th)
+}
+
 // TaskConfig re-exports the task-mining configuration.
 type TaskConfig = taskmine.Config
 
-// MineTask is MineTaskContext with a background context.
-func MineTask(name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
-	return MineTaskContext(context.Background(), name, runs, cfg)
+// MineTaskContext is a deprecated spelling of MineTask.
+//
+// Deprecated: the public API is context-first — call MineTask directly.
+func MineTaskContext(ctx context.Context, name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
+	return MineTask(ctx, name, runs, cfg)
 }
 
-// MineTaskContext learns a task automaton from several runs of the same
+// MineTask learns a task automaton from several runs of the same
 // task, where each run is the ordered flow sequence the task produced.
 // Canceling ctx stops mining between phases and returns ErrCanceled
 // wrapping ctx.Err(); mining phase timings land in ctx's obs registry
 // as span.taskmine.* histograms.
-func MineTaskContext(ctx context.Context, name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
+func MineTask(ctx context.Context, name string, runs [][]FlowKey, cfg TaskConfig) (*TaskAutomaton, error) {
 	templates := make([][]taskmine.Template, 0, len(runs))
 	for _, run := range runs {
 		templates = append(templates, taskmine.Normalize(run, cfg))
@@ -255,23 +263,27 @@ func DetectTasks(log *Log, automata []*TaskAutomaton, gap time.Duration) []TaskD
 // Diagnose validates the changes against the task time series and
 // produces the operator report (dependency matrix, problem classes,
 // component ranking, and — when Options.Topo is set — evidence-voting
-// suspect localization).
-func Diagnose(changes []Change, tasks []TaskDetection, opts Options) Report {
-	return DiagnoseContext(context.Background(), changes, tasks, opts)
-}
-
-// DiagnoseContext is Diagnose with suspect-tally timings and vote counts
+// suspect localization). Suspect-tally timings and vote counts are
 // recorded into ctx's obs registry.
-func DiagnoseContext(ctx context.Context, changes []Change, tasks []TaskDetection, opts Options) Report {
+func Diagnose(ctx context.Context, changes []Change, tasks []TaskDetection, opts Options) Report {
 	return diagnose.DiagnoseContext(ctx, changes, tasks, opts.resolver(), opts.Topo, 0)
 }
 
-// Compare is CompareContext with a background context.
-func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
-	return CompareContext(context.Background(), baseline, current, automata, th, opts)
+// DiagnoseContext is a deprecated spelling of Diagnose.
+//
+// Deprecated: the public API is context-first — call Diagnose directly.
+func DiagnoseContext(ctx context.Context, changes []Change, tasks []TaskDetection, opts Options) Report {
+	return Diagnose(ctx, changes, tasks, opts)
 }
 
-// CompareContext is the one-call convenience API: model both logs,
+// CompareContext is a deprecated spelling of Compare.
+//
+// Deprecated: the public API is context-first — call Compare directly.
+func CompareContext(ctx context.Context, baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
+	return Compare(ctx, baseline, current, automata, th, opts)
+}
+
+// Compare is the one-call convenience API: model both logs,
 // diff, detect tasks in the current log, and diagnose. With
 // Parallelism != 1 the two modeling halves run concurrently (signature
 // state is per-log, and the shared topology is read-only).
@@ -280,7 +292,7 @@ func Compare(baseline, current *Log, automata []*TaskAutomaton, th Thresholds, o
 // returns ErrEmptyLog; cancellation surfaces as ErrCanceled from the
 // modeling halves. Stage timings and counters accumulate into ctx's obs
 // registry; the report is byte-identical whether or not one is present.
-func CompareContext(ctx context.Context, baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
+func Compare(ctx context.Context, baseline, current *Log, automata []*TaskAutomaton, th Thresholds, opts Options) (Report, error) {
 	if baseline == nil || len(baseline.Events) == 0 {
 		return Report{}, fmt.Errorf("flowdiff: compare: %w", ErrNoBaseline)
 	}
@@ -298,13 +310,13 @@ func CompareContext(ctx context.Context, baseline, current *Log, automata []*Tas
 		go func() {
 			defer wg.Done()
 			//lint:ignore locksafe single writer per variable; wg.Add happens-before the goroutine and wg.Wait orders these writes before the read
-			base, berr = BuildSignaturesContext(ctx, baseline, opts)
+			base, berr = BuildSignatures(ctx, baseline, opts)
 		}()
-		cur, cerr = BuildSignaturesContext(ctx, current, opts)
+		cur, cerr = BuildSignatures(ctx, current, opts)
 		wg.Wait()
 	} else {
-		base, berr = BuildSignaturesContext(ctx, baseline, opts)
-		cur, cerr = BuildSignaturesContext(ctx, current, opts)
+		base, berr = BuildSignatures(ctx, baseline, opts)
+		cur, cerr = BuildSignatures(ctx, current, opts)
 	}
 	if berr != nil {
 		return Report{}, berr
@@ -312,7 +324,7 @@ func CompareContext(ctx context.Context, baseline, current *Log, automata []*Tas
 	if cerr != nil {
 		return Report{}, cerr
 	}
-	changes := DiffContext(ctx, base, cur, th)
+	changes := Diff(ctx, base, cur, th)
 	tasks := DetectTasks(current, automata, opts.Signature.OccurrenceGap)
-	return DiagnoseContext(ctx, changes, tasks, opts), nil
+	return Diagnose(ctx, changes, tasks, opts), nil
 }

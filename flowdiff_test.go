@@ -1,6 +1,7 @@
 package flowdiff
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -19,15 +20,15 @@ func runAndDiff(t *testing.T, s Scenario) ([]Change, *ScenarioResult) {
 		t.Fatal(err)
 	}
 	opts := res.Options()
-	base, err := BuildSignatures(res.L1, opts)
+	base, err := BuildSignatures(context.Background(), res.L1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cur, err := BuildSignatures(res.L2, opts)
+	cur, err := BuildSignatures(context.Background(), res.L2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Diff(base, cur, Thresholds{}), res
+	return Diff(context.Background(), base, cur, Thresholds{}), res
 }
 
 func kindSet(changes []Change) map[Kind]bool {
@@ -212,7 +213,7 @@ func TestUnauthorizedAccessDetected(t *testing.T) {
 	if !kinds[signature.KindCG] {
 		t.Fatalf("unauthorized access should add a CG edge; kinds = %v", kinds)
 	}
-	report := Diagnose(changes, nil, res.Options())
+	report := Diagnose(context.Background(), changes, nil, res.Options())
 	if len(report.Unknown) == 0 {
 		t.Fatal("unauthorized access should remain unexplained")
 	}
@@ -263,20 +264,20 @@ func TestVMigrationValidatedAsKnownChange(t *testing.T) {
 	if len(runs) < 5 {
 		t.Fatalf("only %d training runs", len(runs))
 	}
-	automaton, err := MineTask("vm-migration", runs, TaskConfig{})
+	automaton, err := MineTask(context.Background(), "vm-migration", runs, TaskConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	base, err := BuildSignatures(res.L1, opts)
+	base, err := BuildSignatures(context.Background(), res.L1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cur, err := BuildSignatures(res.L2, opts)
+	cur, err := BuildSignatures(context.Background(), res.L2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	changes := Diff(base, cur, Thresholds{})
+	changes := Diff(context.Background(), base, cur, Thresholds{})
 	if len(changes) == 0 {
 		t.Fatal("task execution should surface as CG changes")
 	}
@@ -285,12 +286,12 @@ func TestVMigrationValidatedAsKnownChange(t *testing.T) {
 	if len(tasks) == 0 {
 		t.Fatal("task not detected in L2")
 	}
-	report := Diagnose(changes, tasks, opts)
+	report := Diagnose(context.Background(), changes, tasks, opts)
 	if len(report.Known) == 0 {
 		t.Errorf("no change was validated by the detected task; unknown = %+v", report.Unknown)
 	}
 	// Without the task time series everything stays unknown.
-	blind := Diagnose(changes, nil, opts)
+	blind := Diagnose(context.Background(), changes, nil, opts)
 	if len(blind.Known) != 0 {
 		t.Error("without detections nothing should be explained")
 	}
@@ -305,7 +306,7 @@ func TestDependencyMatrixCongestionShape(t *testing.T) {
 			Interval: 250 * time.Millisecond, QueueDelay: 25 * time.Millisecond,
 		}},
 	})
-	report := Diagnose(changes, nil, res.Options())
+	report := Diagnose(context.Background(), changes, nil, res.Options())
 	m := report.Matrix
 	if !m.Cells[signature.KindDD][signature.KindISL] &&
 		!m.Cells[signature.KindFS][signature.KindISL] &&
@@ -332,7 +333,7 @@ func TestComponentRankingImplicatesFaultyHost(t *testing.T) {
 		Seed:   114,
 		Faults: []faults.Injector{faults.HostShutdown{Host: "S3"}},
 	})
-	report := Diagnose(changes, nil, res.Options())
+	report := Diagnose(context.Background(), changes, nil, res.Options())
 	if len(report.Ranking) == 0 {
 		t.Fatal("empty component ranking")
 	}
@@ -343,7 +344,7 @@ func TestComponentRankingImplicatesFaultyHost(t *testing.T) {
 }
 
 func TestBuildSignaturesValidation(t *testing.T) {
-	if _, err := BuildSignatures(nil, Options{}); err == nil {
+	if _, err := BuildSignatures(context.Background(), nil, Options{}); err == nil {
 		t.Error("want error for nil log")
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -254,19 +256,19 @@ func StabilityFilter(seed int64, trials int) (*StabilityFilterResult, error) {
 			return nil, err
 		}
 		opts := sc.Options()
-		base, err := flowdiff.BuildSignatures(sc.L1, opts)
+		base, err := flowdiff.BuildSignatures(context.Background(), sc.L1, opts)
 		if err != nil {
 			return nil, err
 		}
-		cur, err := flowdiff.BuildSignatures(sc.L2, opts)
+		cur, err := flowdiff.BuildSignatures(context.Background(), sc.L2, opts)
 		if err != nil {
 			return nil, err
 		}
-		res.AlarmsWithFilter += len(flowdiff.Diff(base, cur, flowdiff.Thresholds{}))
+		res.AlarmsWithFilter += len(flowdiff.Diff(context.Background(), base, cur, flowdiff.Thresholds{}))
 
 		noFilter := *base
 		noFilter.Stability = nil
-		res.AlarmsWithoutFilter += len(flowdiff.Diff(&noFilter, cur, flowdiff.Thresholds{}))
+		res.AlarmsWithoutFilter += len(flowdiff.Diff(context.Background(), &noFilter, cur, flowdiff.Thresholds{}))
 	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -67,7 +69,7 @@ func Fig10(seed int64, dur time.Duration) (*Fig10Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig10 %q: %w", setting.Label, err)
 		}
-		sigs, err := flowdiff.BuildSignatures(sc.L1, sc.Options())
+		sigs, err := flowdiff.BuildSignatures(context.Background(), sc.L1, sc.Options())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -35,7 +37,7 @@ func Fig11a(seed int64, dur time.Duration) (*Fig11aResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig11a case %d: %w", num, err)
 		}
-		sigs, err := flowdiff.BuildSignatures(sc.L1, sc.Options())
+		sigs, err := flowdiff.BuildSignatures(context.Background(), sc.L1, sc.Options())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -45,7 +47,7 @@ func Fig12(seed int64, dur time.Duration) (*Fig12Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig12 case %d: %w", num, err)
 		}
-		sigs, err := flowdiff.BuildSignatures(sc.L1, sc.Options())
+		sigs, err := flowdiff.BuildSignatures(context.Background(), sc.L1, sc.Options())
 		if err != nil {
 			return nil, err
 		}

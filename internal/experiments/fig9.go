@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"time"
@@ -44,7 +46,7 @@ func fig9Setting(seed int64, fault []faults.Injector) (bytes []float64, delays [
 		return nil, nil, err
 	}
 	opts := sc.Options()
-	cur, err := flowdiff.BuildSignatures(sc.L2, opts)
+	cur, err := flowdiff.BuildSignatures(context.Background(), sc.L2, opts)
 	if err != nil {
 		return nil, nil, err
 	}

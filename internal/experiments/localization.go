@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -59,16 +61,16 @@ func Localization(seed int64, seeds int) (*LocalizationResult, error) {
 				return nil, fmt.Errorf("experiments: localization %s seed %d: %w", sc.Name, k, err)
 			}
 			opts := r.Options()
-			base, err := flowdiff.BuildSignatures(r.L1, opts)
+			base, err := flowdiff.BuildSignatures(context.Background(), r.L1, opts)
 			if err != nil {
 				return nil, err
 			}
-			cur, err := flowdiff.BuildSignatures(r.L2, opts)
+			cur, err := flowdiff.BuildSignatures(context.Background(), r.L2, opts)
 			if err != nil {
 				return nil, err
 			}
-			changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
-			rep := flowdiff.Diagnose(changes, nil, opts)
+			changes := flowdiff.Diff(context.Background(), base, cur, flowdiff.Thresholds{})
+			rep := flowdiff.Diagnose(context.Background(), changes, nil, opts)
 
 			if rank := suspectRank(rep.Suspects, sc.Truth); rank == 0 {
 				cell.Top1++

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -27,15 +29,15 @@ func Matrices(seed int64) (*MatrixResult, error) {
 			return diagnose.Matrix{}, err
 		}
 		opts := sc.Options()
-		base, err := flowdiff.BuildSignatures(sc.L1, opts)
+		base, err := flowdiff.BuildSignatures(context.Background(), sc.L1, opts)
 		if err != nil {
 			return diagnose.Matrix{}, err
 		}
-		cur, err := flowdiff.BuildSignatures(sc.L2, opts)
+		cur, err := flowdiff.BuildSignatures(context.Background(), sc.L2, opts)
 		if err != nil {
 			return diagnose.Matrix{}, err
 		}
-		report := flowdiff.Diagnose(flowdiff.Diff(base, cur, flowdiff.Thresholds{}), nil, opts)
+		report := flowdiff.Diagnose(context.Background(), flowdiff.Diff(context.Background(), base, cur, flowdiff.Thresholds{}), nil, opts)
 		return report.Matrix, nil
 	}
 	congestion, err := run(faults.BackgroundTraffic{

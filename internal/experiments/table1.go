@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -56,16 +58,16 @@ func Table1(seed int64) (*Table1Result, error) {
 			return nil, fmt.Errorf("experiments: table 1 case %d: %w", i+1, err)
 		}
 		opts := sc.Options()
-		base, err := flowdiff.BuildSignatures(sc.L1, opts)
+		base, err := flowdiff.BuildSignatures(context.Background(), sc.L1, opts)
 		if err != nil {
 			return nil, err
 		}
-		cur, err := flowdiff.BuildSignatures(sc.L2, opts)
+		cur, err := flowdiff.BuildSignatures(context.Background(), sc.L2, opts)
 		if err != nil {
 			return nil, err
 		}
-		changes := flowdiff.Diff(base, cur, flowdiff.Thresholds{})
-		report := flowdiff.Diagnose(changes, nil, opts)
+		changes := flowdiff.Diff(context.Background(), base, cur, flowdiff.Thresholds{})
+		report := flowdiff.Diagnose(context.Background(), changes, nil, opts)
 
 		row := Table1Row{ID: i + 1, Problem: tc.name, Detected: len(report.Unknown) > 0}
 		kinds := make(map[signature.Kind]bool)

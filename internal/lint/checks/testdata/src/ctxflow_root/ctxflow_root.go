@@ -1,0 +1,37 @@
+// Seeds for ctxflow's root-package deprecation-policy rule: exported
+// *Context names must be documented legacy forwarders.
+package flowdiff
+
+import "context"
+
+// Run is the canonical context-first entry point.
+func Run(ctx context.Context, n int) error { return ctx.Err() }
+
+// RunContext is a legacy spelling of Run.
+//
+// Deprecated: the public API is context-first — call Run directly.
+func RunContext(ctx context.Context, n int) error { return Run(ctx, n) }
+
+// BuildContext is a fresh *Context spelling with no deprecation marker:
+// the redesign forbids minting these.
+func BuildContext(ctx context.Context) error { return ctx.Err() } // want "exported BuildContext outside the deprecated-forwarder idiom"
+
+// Engine is an exported receiver for the method-side of the rule.
+type Engine struct{}
+
+// Start is the canonical context-first method.
+func (e *Engine) Start(ctx context.Context) error { return ctx.Err() }
+
+// StartContext is a legacy spelling of Start.
+//
+// Deprecated: call Start directly.
+func (e *Engine) StartContext(ctx context.Context) error { return e.Start(ctx) }
+
+// StopContext lacks the Deprecated: paragraph.
+func (e *Engine) StopContext(ctx context.Context) error { return ctx.Err() } // want "exported StopContext outside the deprecated-forwarder idiom"
+
+// withContext is unexported: naming is the implementer's business.
+func withContext(ctx context.Context) error { return ctx.Err() }
+
+// Context alone is not a *Context variant of anything.
+func Context() string { return "not a forwarder" }

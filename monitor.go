@@ -92,15 +92,16 @@ type MonitorReport struct {
 // NewMonitor creates a monitor against a baseline built from a
 // known-good log. window controls how often diffs are produced (default
 // 1 minute); automatic flushes land on multiples of window past the
-// baseline's end.
-func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, th Thresholds, opts Options) (*Monitor, error) {
+// baseline's end. ctx governs (and its obs registry observes) the
+// baseline signature build.
+func NewMonitor(ctx context.Context, baseline *Log, window time.Duration, automata []*TaskAutomaton, th Thresholds, opts Options) (*Monitor, error) {
 	if window <= 0 {
 		window = time.Minute
 	}
 	if baseline == nil || len(baseline.Events) == 0 {
 		return nil, fmt.Errorf("flowdiff: monitor: %w", ErrNoBaseline)
 	}
-	base, err := BuildSignatures(baseline, opts)
+	base, err := BuildSignatures(ctx, baseline, opts)
 	if err != nil {
 		return nil, fmt.Errorf("flowdiff: building monitor baseline: %w", err)
 	}
@@ -128,12 +129,71 @@ func NewMonitor(baseline *Log, window time.Duration, automata []*TaskAutomaton, 
 // Baseline exposes the frozen baseline signatures.
 func (m *Monitor) Baseline() *Signatures { return m.baseline }
 
-// Observe is ObserveContext with a background context.
-func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
-	return m.ObserveContext(context.Background(), e)
+// SwapBaseline hot-swaps the frozen baseline: the new known-good log is
+// modeled (under ctx) and replaces the signatures every subsequent
+// window diffs against. Everything else survives the swap — the
+// buffered window, the incremental extractor's open episodes, the
+// window grid, and the report history — so a long-running tenant can
+// re-baseline without dropping its stream. On error (empty log,
+// cancellation) the old baseline stays in place.
+func (m *Monitor) SwapBaseline(ctx context.Context, baseline *Log) error {
+	if baseline == nil || len(baseline.Events) == 0 {
+		return fmt.Errorf("flowdiff: monitor baseline swap: %w", ErrNoBaseline)
+	}
+	base, err := BuildSignatures(ctx, baseline, m.opts)
+	if err != nil {
+		return fmt.Errorf("flowdiff: monitor baseline swap: %w", err)
+	}
+	m.baseline = base
+	return nil
 }
 
-// ObserveContext appends one control event. When the event crosses the
+// MonitorSnapshot is a point-in-time view of a monitor's live state —
+// the status a long-running service reports per tenant.
+type MonitorSnapshot struct {
+	// WindowStart is the open (buffered, not yet flushed) window's
+	// start; Buffered is how many events it holds.
+	WindowStart time.Duration
+	Buffered    int
+	// NextFlush is the grid boundary at which the open window flushes.
+	NextFlush time.Duration
+	// Windows counts the reports produced so far; Alarmed counts those
+	// with unexplained changes.
+	Windows, Alarmed int
+	// BaselineEvents and BaselineEnd describe the frozen baseline.
+	BaselineEvents int
+	BaselineEnd    time.Duration
+}
+
+// Snapshot reports the monitor's live state. Like every other Monitor
+// method it must be called from the goroutine that owns the monitor.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	s := MonitorSnapshot{
+		WindowStart: m.buf.Start,
+		Buffered:    len(m.buf.Events),
+		NextFlush:   m.next,
+		Windows:     len(m.reports),
+	}
+	if m.baseline.Log != nil {
+		s.BaselineEvents = len(m.baseline.Log.Events)
+		s.BaselineEnd = m.baseline.Log.End
+	}
+	for _, r := range m.reports {
+		if len(r.Report.Unknown) > 0 {
+			s.Alarmed++
+		}
+	}
+	return s
+}
+
+// ObserveContext is a deprecated spelling of Observe.
+//
+// Deprecated: the public API is context-first — call Observe directly.
+func (m *Monitor) ObserveContext(ctx context.Context, e flowlog.Event) (*MonitorReport, error) {
+	return m.Observe(ctx, e)
+}
+
+// Observe appends one control event. When the event crosses the
 // current window's grid boundary, the buffered window is diagnosed
 // first and the resulting report returned (nil otherwise); the event
 // then opens the grid cell containing it. Events must arrive in time
@@ -150,7 +210,7 @@ func (m *Monitor) Observe(e flowlog.Event) (*MonitorReport, error) {
 // computed from its own first event, so windows never overlap).
 // Per-event cost is one counter increment ("monitor.events") plus the
 // extractor append.
-func (m *Monitor) ObserveContext(ctx context.Context, e flowlog.Event) (*MonitorReport, error) {
+func (m *Monitor) Observe(ctx context.Context, e flowlog.Event) (*MonitorReport, error) {
 	if e.Time < m.buf.Start {
 		return nil, fmt.Errorf("flowdiff: %w: event at %v precedes current window start %v", ErrOutOfOrder, e.Time, m.buf.Start)
 	}
@@ -177,16 +237,18 @@ func (m *Monitor) ObserveContext(ctx context.Context, e flowlog.Event) (*Monitor
 	return rep, flushErr
 }
 
-// Flush is FlushContext with a background context.
-func (m *Monitor) Flush() (*MonitorReport, error) {
-	return m.FlushContext(context.Background())
+// FlushContext is a deprecated spelling of Flush.
+//
+// Deprecated: the public API is context-first — call Flush directly.
+func (m *Monitor) FlushContext(ctx context.Context) (*MonitorReport, error) {
+	return m.Flush(ctx)
 }
 
-// FlushContext diagnoses the buffered partial window immediately
+// Flush diagnoses the buffered partial window immediately
 // (automatic flushes happen inside Observe when a grid boundary is
 // crossed). The report covers [window start, last observed event].
 // Returns nil when the buffer is empty.
-func (m *Monitor) FlushContext(ctx context.Context) (*MonitorReport, error) {
+func (m *Monitor) Flush(ctx context.Context) (*MonitorReport, error) {
 	if len(m.buf.Events) == 0 {
 		return nil, nil
 	}
@@ -235,12 +297,12 @@ func (m *Monitor) flushTo(ctx context.Context, to time.Duration) (*MonitorReport
 		m.buf.End = prevEnd
 		return nil, err
 	}
-	changes := DiffContext(ctx, m.baseline, cur, m.th)
+	changes := Diff(ctx, m.baseline, cur, m.th)
 	tasks := DetectTasks(m.buf, m.automata, m.opts.Signature.OccurrenceGap)
 	rep := MonitorReport{
 		From:   m.buf.Start,
 		To:     to,
-		Report: DiagnoseContext(ctx, changes, tasks, m.opts),
+		Report: Diagnose(ctx, changes, tasks, m.opts),
 	}
 	obs.From(ctx).Counter("monitor.windows").Inc()
 	m.reports = append(m.reports, rep)
@@ -278,21 +340,21 @@ func (m *Monitor) signaturesFor(ctx context.Context, log *Log, occs []signature.
 // the baseline alone. The report is not appended to Reports. A window
 // with no matching events returns ErrEmptyLog wrapped.
 func (m *Monitor) RediagnoseWindow(ctx context.Context, r io.Reader, from, to time.Duration, hosts []netip.Addr) (*MonitorReport, error) {
-	src, err := NewColumnarSourceOptionsContext(ctx, r, ColumnarOptions{
+	src, err := NewColumnarSourceOptions(ctx, r, ColumnarOptions{
 		Filter: ReadFilter{From: from, To: to, Hosts: hosts},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flowdiff: monitor rediagnose: %w", err)
 	}
-	cur, err := BuildSignaturesReaderContext(ctx, src, m.opts)
+	cur, err := BuildSignaturesReader(ctx, src, m.opts)
 	if err != nil {
 		return nil, fmt.Errorf("flowdiff: monitor rediagnose: %w", err)
 	}
-	changes := DiffContext(ctx, m.baseline, cur, m.th)
+	changes := Diff(ctx, m.baseline, cur, m.th)
 	return &MonitorReport{
 		From:   from,
 		To:     to,
-		Report: DiagnoseContext(ctx, changes, nil, m.opts),
+		Report: Diagnose(ctx, changes, nil, m.opts),
 	}, nil
 }
 

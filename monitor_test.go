@@ -46,16 +46,16 @@ func driveMonitor(t *testing.T, s Scenario, window time.Duration) (*Monitor, *Sc
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMonitor(res.L1, window, nil, Thresholds{}, res.Options())
+	m, err := NewMonitor(context.Background(), res.L1, window, nil, Thresholds{}, res.Options())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range res.L2.Events {
-		if _, err := m.Observe(e); err != nil {
+		if _, err := m.Observe(context.Background(), e); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Flush(); err != nil {
+	if _, err := m.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return m, res
@@ -127,7 +127,7 @@ func TestMonitorValidatesTasks(t *testing.T) {
 	for _, r := range train.TaskRuns {
 		runs = append(runs, r.Flows)
 	}
-	automaton, err := MineTask("vm-migration", runs, TaskConfig{})
+	automaton, err := MineTask(context.Background(), "vm-migration", runs, TaskConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,16 +136,16 @@ func TestMonitorValidatesTasks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMonitor(res.L1, time.Minute, []*TaskAutomaton{automaton}, Thresholds{}, res.Options())
+	m, err := NewMonitor(context.Background(), res.L1, time.Minute, []*TaskAutomaton{automaton}, Thresholds{}, res.Options())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range res.L2.Events {
-		if _, err := m.Observe(e); err != nil {
+		if _, err := m.Observe(context.Background(), e); err != nil {
 			t.Fatal(err)
 		}
 	}
-	m.Flush()
+	m.Flush(context.Background())
 	known := 0
 	for _, r := range m.Reports() {
 		known += len(r.Report.Known)
@@ -184,7 +184,7 @@ func TestMonitorGridAlignedWindows(t *testing.T) {
 	window := time.Minute
 	baseline := flowlog.New(0, 2*time.Minute)
 	baseline.Events = monitorChainEvents(0, 2*time.Minute, 200*time.Millisecond)
-	m, err := NewMonitor(baseline, window, nil, Thresholds{}, Options{})
+	m, err := NewMonitor(context.Background(), baseline, window, nil, Thresholds{}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +195,11 @@ func TestMonitorGridAlignedWindows(t *testing.T) {
 	stream = append(stream, monitorChainEvents(origin, origin+30*time.Second, 100*time.Millisecond)...)
 	stream = append(stream, monitorChainEvents(origin+8*time.Minute, origin+9*time.Minute+30*time.Second, 100*time.Millisecond)...)
 	for _, e := range stream {
-		if _, err := m.Observe(e); err != nil {
+		if _, err := m.Observe(context.Background(), e); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Flush(); err != nil {
+	if _, err := m.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	reports := m.Reports()
@@ -236,23 +236,23 @@ func TestMonitorStreamingMatchesBatch(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		opts := res.Options()
 		opts.Parallelism = workers
-		m, err := NewMonitor(res.L1, 45*time.Second, nil, Thresholds{}, opts)
+		m, err := NewMonitor(context.Background(), res.L1, 45*time.Second, nil, Thresholds{}, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, e := range res.L2.Events {
-			if _, err := m.Observe(e); err != nil {
+			if _, err := m.Observe(context.Background(), e); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if _, err := m.Flush(); err != nil {
+		if _, err := m.Flush(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		reports := m.Reports()
 		if len(reports) < 3 {
 			t.Fatalf("workers=%d: only %d reports; equivalence would be vacuous", workers, len(reports))
 		}
-		base, err := BuildSignatures(res.L1, opts)
+		base, err := BuildSignatures(context.Background(), res.L1, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,12 +266,12 @@ func TestMonitorStreamingMatchesBatch(t *testing.T) {
 					wl.Append(e)
 				}
 			}
-			cur, err := BuildSignatures(wl, opts)
+			cur, err := BuildSignatures(context.Background(), wl, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			changes := Diff(base, cur, Thresholds{})
-			want := Diagnose(changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
+			changes := Diff(context.Background(), base, cur, Thresholds{})
+			want := Diagnose(context.Background(), changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
 			if !reflect.DeepEqual(r.Report, want) {
 				t.Errorf("workers=%d window [%v,%v): streaming report differs from batch rebuild", workers, r.From, r.To)
 			}
@@ -284,12 +284,12 @@ func TestMonitorRejectsOutOfOrderEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMonitor(res.L1, time.Minute, nil, Thresholds{}, res.Options())
+	m, err := NewMonitor(context.Background(), res.L1, time.Minute, nil, Thresholds{}, res.Options())
 	if err != nil {
 		t.Fatal(err)
 	}
 	stale := res.L1.Events[0]
-	if _, err := m.Observe(stale); err == nil {
+	if _, err := m.Observe(context.Background(), stale); err == nil {
 		t.Error("want error for event preceding the window")
 	}
 }
@@ -298,7 +298,7 @@ func TestMonitorRejectsOutOfOrderEvents(t *testing.T) {
 // the ObserveContext cancellation contract: a canceled boundary flush
 // must neither drop the boundary-crossing event nor consume the
 // window's extractor episodes. The pre-fix code returned before
-// buffering the event and after m.ex.Flush() had already destroyed the
+// buffering the event and after m.ex.Flush(context.Background()) had already destroyed the
 // window's occurrences, so the retried flush abstained on an empty
 // extractor and the window was lost forever.
 func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
@@ -306,14 +306,14 @@ func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
 	baseline := flowlog.New(0, 2*time.Minute)
 	baseline.Events = monitorChainEvents(0, 2*time.Minute, 200*time.Millisecond)
 	opts := Options{}
-	m, err := NewMonitor(baseline, window, nil, Thresholds{}, opts)
+	m, err := NewMonitor(context.Background(), baseline, window, nil, Thresholds{}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	origin := baseline.End
 	winEvents := monitorChainEvents(origin, origin+window, 100*time.Millisecond)
 	for _, e := range winEvents {
-		if _, err := m.Observe(e); err != nil {
+		if _, err := m.Observe(context.Background(), e); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -326,7 +326,7 @@ func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
 		Time: origin + window + time.Millisecond, Type: flowlog.EventPacketIn, Switch: "sw1",
 		Flow: flowlog.FlowKey{Proto: 6, Src: host(8), Dst: host(9), SrcPort: 2000, DstPort: 80},
 	}
-	rep, err := m.ObserveContext(canceledCtx, boundary)
+	rep, err := m.Observe(canceledCtx, boundary)
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("canceled flush: err = %v, want ErrCanceled", err)
 	}
@@ -343,7 +343,7 @@ func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
 		Time: origin + window + 2*time.Millisecond, Type: flowlog.EventPacketIn, Switch: "sw1",
 		Flow: flowlog.FlowKey{Proto: 6, Src: host(8), Dst: host(9), SrcPort: 2001, DstPort: 80},
 	}
-	rep, err = m.ObserveContext(context.Background(), later)
+	rep, err = m.Observe(context.Background(), later)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,18 +356,18 @@ func TestMonitorCanceledFlushIsNonDestructive(t *testing.T) {
 
 	// The retried report must equal a batch rebuild of the same window
 	// (its regular events plus the deferred boundary event).
-	base, err := BuildSignatures(baseline, opts)
+	base, err := BuildSignatures(context.Background(), baseline, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wl := flowlog.New(origin, origin+window)
 	wl.Events = append(append([]flowlog.Event(nil), winEvents...), boundary)
-	cur, err := BuildSignatures(wl, opts)
+	cur, err := BuildSignatures(context.Background(), wl, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	changes := Diff(base, cur, Thresholds{})
-	want := Diagnose(changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
+	changes := Diff(context.Background(), base, cur, Thresholds{})
+	want := Diagnose(context.Background(), changes, DetectTasks(wl, nil, opts.Signature.OccurrenceGap), opts)
 	if !reflect.DeepEqual(rep.Report, want) {
 		t.Error("retried report differs from batch rebuild of the full window")
 	}

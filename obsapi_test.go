@@ -47,18 +47,24 @@ func TestSentinelErrors(t *testing.T) {
 	}{
 		{
 			"BuildSignatures nil log",
-			func() error { _, err := flowdiff.BuildSignatures(nil, flowdiff.Options{}); return err },
+			func() error {
+				_, err := flowdiff.BuildSignatures(context.Background(), nil, flowdiff.Options{})
+				return err
+			},
 			[]error{flowdiff.ErrEmptyLog},
 		},
 		{
 			"BuildSignatures empty log",
-			func() error { _, err := flowdiff.BuildSignatures(empty, flowdiff.Options{}); return err },
+			func() error {
+				_, err := flowdiff.BuildSignatures(context.Background(), empty, flowdiff.Options{})
+				return err
+			},
 			[]error{flowdiff.ErrEmptyLog},
 		},
 		{
 			"Compare nil baseline",
 			func() error {
-				_, err := flowdiff.Compare(nil, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				_, err := flowdiff.Compare(context.Background(), nil, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 				return err
 			},
 			[]error{flowdiff.ErrNoBaseline},
@@ -66,7 +72,7 @@ func TestSentinelErrors(t *testing.T) {
 		{
 			"Compare empty baseline",
 			func() error {
-				_, err := flowdiff.Compare(empty, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				_, err := flowdiff.Compare(context.Background(), empty, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 				return err
 			},
 			[]error{flowdiff.ErrNoBaseline},
@@ -74,7 +80,7 @@ func TestSentinelErrors(t *testing.T) {
 		{
 			"Compare nil current",
 			func() error {
-				_, err := flowdiff.Compare(log, nil, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				_, err := flowdiff.Compare(context.Background(), log, nil, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 				return err
 			},
 			[]error{flowdiff.ErrEmptyLog},
@@ -82,7 +88,7 @@ func TestSentinelErrors(t *testing.T) {
 		{
 			"NewMonitor nil baseline",
 			func() error {
-				_, err := flowdiff.NewMonitor(nil, time.Minute, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				_, err := flowdiff.NewMonitor(context.Background(), nil, time.Minute, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 				return err
 			},
 			[]error{flowdiff.ErrNoBaseline},
@@ -90,7 +96,7 @@ func TestSentinelErrors(t *testing.T) {
 		{
 			"BuildSignaturesContext canceled",
 			func() error {
-				_, err := flowdiff.BuildSignaturesContext(canceledCtx, log, flowdiff.Options{})
+				_, err := flowdiff.BuildSignatures(canceledCtx, log, flowdiff.Options{})
 				return err
 			},
 			[]error{flowdiff.ErrCanceled, context.Canceled},
@@ -98,7 +104,7 @@ func TestSentinelErrors(t *testing.T) {
 		{
 			"CompareContext canceled",
 			func() error {
-				_, err := flowdiff.CompareContext(canceledCtx, log, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+				_, err := flowdiff.Compare(canceledCtx, log, log, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 				return err
 			},
 			[]error{flowdiff.ErrCanceled, context.Canceled},
@@ -106,7 +112,7 @@ func TestSentinelErrors(t *testing.T) {
 		{
 			"MineTaskContext canceled",
 			func() error {
-				_, err := flowdiff.MineTaskContext(canceledCtx, "toy", taskRuns(), flowdiff.TaskConfig{})
+				_, err := flowdiff.MineTask(canceledCtx, "toy", taskRuns(), flowdiff.TaskConfig{})
 				return err
 			},
 			[]error{flowdiff.ErrCanceled, context.Canceled},
@@ -135,7 +141,7 @@ func TestCanceledBuildDrainsGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := flowdiff.BuildSignaturesContext(ctx, log, flowdiff.Options{Parallelism: 4}); !errors.Is(err, flowdiff.ErrCanceled) {
+	if _, err := flowdiff.BuildSignatures(ctx, log, flowdiff.Options{Parallelism: 4}); !errors.Is(err, flowdiff.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -160,7 +166,7 @@ func TestObsCountersDeterministicAcrossParallelism(t *testing.T) {
 	for _, p := range []int{1, 2, 4, 7} {
 		reg := obs.New()
 		ctx := obs.WithRegistry(context.Background(), reg)
-		if _, err := flowdiff.BuildSignaturesContext(ctx, log, flowdiff.Options{Parallelism: p}); err != nil {
+		if _, err := flowdiff.BuildSignatures(ctx, log, flowdiff.Options{Parallelism: p}); err != nil {
 			t.Fatalf("parallelism %d: %v", p, err)
 		}
 		got := make(map[string]int64)
@@ -192,7 +198,7 @@ func TestReportIdenticalWithObsOnOff(t *testing.T) {
 	l1 := synthThreeTierStream(0, 2*time.Minute, 10_000)
 	l2 := synthThreeTierStream(0, 2*time.Minute, 14_000)
 	run := func(ctx context.Context) string {
-		rep, err := flowdiff.CompareContext(ctx, l1, l2, nil, flowdiff.Thresholds{}, flowdiff.Options{})
+		rep, err := flowdiff.Compare(ctx, l1, l2, nil, flowdiff.Thresholds{}, flowdiff.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +219,7 @@ func TestMetricsPopulatedAfterCompare(t *testing.T) {
 	ctx := obs.WithRegistry(context.Background(), reg)
 	l1 := synthThreeTierLog(10_000)
 	l2 := synthThreeTierLog(12_000)
-	if _, err := flowdiff.CompareContext(ctx, l1, l2, nil, flowdiff.Thresholds{}, flowdiff.Options{}); err != nil {
+	if _, err := flowdiff.Compare(ctx, l1, l2, nil, flowdiff.Thresholds{}, flowdiff.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	snap := reg.Snapshot()

@@ -1,6 +1,7 @@
 package flowdiff_test
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -54,15 +55,15 @@ func TestParallelModelingDeterminism(t *testing.T) {
 	build := func(workers int) model {
 		o := opts
 		o.Parallelism = workers
-		base, err := flowdiff.BuildSignatures(res.L1, o)
+		base, err := flowdiff.BuildSignatures(context.Background(), res.L1, o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cur, err := flowdiff.BuildSignatures(res.L2, o)
+		cur, err := flowdiff.BuildSignatures(context.Background(), res.L2, o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return model{base: base, cur: cur, changes: flowdiff.Diff(base, cur, flowdiff.Thresholds{})}
+		return model{base: base, cur: cur, changes: flowdiff.Diff(context.Background(), base, cur, flowdiff.Thresholds{})}
 	}
 
 	ref := build(1)
@@ -92,11 +93,11 @@ func TestParallelModelingDeterminism(t *testing.T) {
 	seq.Parallelism = 1
 	par := opts
 	par.Parallelism = 4
-	seqReport, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, seq)
+	seqReport, err := flowdiff.Compare(context.Background(), res.L1, res.L2, nil, flowdiff.Thresholds{}, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parReport, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, par)
+	parReport, err := flowdiff.Compare(context.Background(), res.L1, res.L2, nil, flowdiff.Thresholds{}, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSuspectRankingDeterministicAcrossParallelism(t *testing.T) {
 	for i, workers := range []int{1, 2, 4, 7} {
 		o := res.Options()
 		o.Parallelism = workers
-		rep, err := flowdiff.Compare(res.L1, res.L2, nil, flowdiff.Thresholds{}, o)
+		rep, err := flowdiff.Compare(context.Background(), res.L1, res.L2, nil, flowdiff.Thresholds{}, o)
 		if err != nil {
 			t.Fatal(err)
 		}

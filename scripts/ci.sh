@@ -119,6 +119,12 @@ go test -run '^Fuzz' ./internal/flowlog/...
 # reordered events would pass the benches but fail here.
 go test -count=1 -run 'TestQueryReadsMatchReference|TestParallelDecodeMatchesSerial' ./internal/flowlog/colseg
 go test -count=1 -run TestQueryReadsEquivalentOnScenarioCapture .
+# Serve smoke: boot the real flowdiff binary as a service on a loopback
+# port, ingest the canonical Seed-301 capture over HTTP as two tenants,
+# and require the fetched reports to be reflect.DeepEqual to an offline
+# Monitor run over the same events — the multi-tenant service must
+# never diverge from the library pipeline it wraps.
+go test -count=1 -run TestServeSmokeTwoTenantsMatchOffline ./cmd/flowdiff
 # Localization-accuracy smoke: the evidence-voting suspect ranker must
 # keep top-1 >= 80% and top-3 >= 95% across 10 seeds on each fabric
 # fault scenario, and strictly beat the change-count baseline on

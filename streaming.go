@@ -69,28 +69,33 @@ type ColumnarOptions struct {
 	Parallelism int
 }
 
-// NewColumnarSource is NewColumnarSourceContext with a background
-// context.
-func NewColumnarSource(r io.Reader) (EventSource, error) {
-	return NewColumnarSourceContext(context.Background(), r)
-}
-
-// NewColumnarSourceContext opens an FDC1 (segmented columnar) stream —
+// NewColumnarSource opens an FDC1 (segmented columnar) stream —
 // as written by `flowdiff convert -to columnar` — as an EventSource for
-// BuildSignaturesReaderContext. The header is validated immediately;
+// BuildSignaturesReader. The header is validated immediately;
 // events decode lazily, one bounded batch at a time, with decode
 // metrics going to the context's obs registry.
+func NewColumnarSource(ctx context.Context, r io.Reader) (EventSource, error) {
+	return NewColumnarSourceOptions(ctx, r, ColumnarOptions{})
+}
+
+// NewColumnarSourceContext is a deprecated spelling of NewColumnarSource.
+//
+// Deprecated: the public API is context-first — call NewColumnarSource
+// directly.
 func NewColumnarSourceContext(ctx context.Context, r io.Reader) (EventSource, error) {
-	return NewColumnarSourceOptionsContext(ctx, r, ColumnarOptions{})
+	return NewColumnarSource(ctx, r)
 }
 
-// NewColumnarSourceOptions is NewColumnarSourceOptionsContext with a
-// background context.
-func NewColumnarSourceOptions(r io.Reader, o ColumnarOptions) (EventSource, error) {
-	return NewColumnarSourceOptionsContext(context.Background(), r, o)
+// NewColumnarSourceOptionsContext is a deprecated spelling of
+// NewColumnarSourceOptions.
+//
+// Deprecated: the public API is context-first — call
+// NewColumnarSourceOptions directly.
+func NewColumnarSourceOptionsContext(ctx context.Context, r io.Reader, o ColumnarOptions) (EventSource, error) {
+	return NewColumnarSourceOptions(ctx, r, o)
 }
 
-// NewColumnarSourceOptionsContext opens an FDC1 stream as an
+// NewColumnarSourceOptions opens an FDC1 stream as an
 // EventSource with a query attached: the filter prunes segments from
 // the on-disk index and drops non-matching events at decode time, the
 // projection decodes only the selected columns, and Parallelism > 1
@@ -101,7 +106,7 @@ func NewColumnarSourceOptions(r io.Reader, o ColumnarOptions) (EventSource, erro
 // work avoided. A time-filtered source reports the filter window from
 // Bounds, so signatures built from it cover exactly the queried
 // interval.
-func NewColumnarSourceOptionsContext(ctx context.Context, r io.Reader, o ColumnarOptions) (EventSource, error) {
+func NewColumnarSourceOptions(ctx context.Context, r io.Reader, o ColumnarOptions) (EventSource, error) {
 	cr, err := colseg.NewReaderContext(ctx, r, colseg.ReaderOptions{
 		Filter:      o.Filter,
 		Columns:     o.Columns,
@@ -113,13 +118,16 @@ func NewColumnarSourceOptionsContext(ctx context.Context, r io.Reader, o Columna
 	return cr, nil
 }
 
-// BuildSignaturesReader is BuildSignaturesReaderContext with a
-// background context.
-func BuildSignaturesReader(src EventSource, opts Options) (*Signatures, error) {
-	return BuildSignaturesReaderContext(context.Background(), src, opts)
+// BuildSignaturesReaderContext is a deprecated spelling of
+// BuildSignaturesReader.
+//
+// Deprecated: the public API is context-first — call
+// BuildSignaturesReader directly.
+func BuildSignaturesReaderContext(ctx context.Context, src EventSource, opts Options) (*Signatures, error) {
+	return BuildSignaturesReader(ctx, src, opts)
 }
 
-// BuildSignaturesReaderContext runs FlowDiff's modeling phase over a
+// BuildSignaturesReader runs FlowDiff's modeling phase over a
 // streamed event source. The source is drained exactly once: flow
 // occurrences are extracted incrementally (sharded by flow-key hash
 // across the worker pool), and every other per-log aggregate the
@@ -128,7 +136,7 @@ func BuildSignaturesReader(src EventSource, opts Options) (*Signatures, error) {
 // pass. Peak memory is one decoded batch plus the aggregates and
 // occurrences; the full event slice is never materialized.
 //
-// The result is byte-identical to BuildSignaturesContext over the same
+// The result is byte-identical to BuildSignatures over the same
 // events in memory (an unsorted log serializes to colseg in sorted
 // order; the equivalence is against that time-sorted sequence, which is
 // the canonical capture order). The returned Signatures carry an
@@ -137,11 +145,11 @@ func BuildSignaturesReader(src EventSource, opts Options) (*Signatures, error) {
 // A nil or event-free source returns ErrEmptyLog; cancellation returns
 // ErrCanceled wrapping ctx.Err(); a source read error is returned
 // wrapped.
-func BuildSignaturesReaderContext(ctx context.Context, src EventSource, opts Options) (*Signatures, error) {
+func BuildSignaturesReader(ctx context.Context, src EventSource, opts Options) (*Signatures, error) {
 	if src == nil {
 		return nil, fmt.Errorf("flowdiff: building signatures: %w", ErrEmptyLog)
 	}
-	//lint:ignore obsspan same top-level build stage as BuildSignaturesContext on the streaming path; a run enters exactly one of the two, so the timeline never sees both
+	//lint:ignore obsspan same top-level build stage as BuildSignatures on the streaming path; a run enters exactly one of the two, so the timeline never sees both
 	defer obs.Span(ctx, "flowdiff.build").End()
 	p, err := signature.NewPipelineFromSourceContext(ctx, src, opts.resolver(), opts.sigConfig(), opts.Stability)
 	if err != nil {

@@ -2,6 +2,7 @@ package flowdiff_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/netip"
@@ -61,14 +62,14 @@ func TestBuildSignaturesReaderMatchesInMemory(t *testing.T) {
 
 	log := synthThreeTierLog(30_000)
 	path := writeColumnar(t, log)
-	ref, err := flowdiff.BuildSignatures(log, flowdiff.Options{}.WithWorkers(1))
+	ref, err := flowdiff.BuildSignatures(context.Background(), log, flowdiff.Options{}.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	for _, workers := range []int{1, 2, 4, 7} {
 		r, done := openColumnar(t, path)
-		got, err := flowdiff.BuildSignaturesReader(r, flowdiff.Options{}.WithWorkers(workers))
+		got, err := flowdiff.BuildSignaturesReader(context.Background(), r, flowdiff.Options{}.WithWorkers(workers))
 		done()
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -102,34 +103,34 @@ func TestNewColumnarSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	src, err := flowdiff.NewColumnarSource(f)
+	src, err := flowdiff.NewColumnarSource(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := flowdiff.BuildSignaturesReader(src, flowdiff.Options{}.WithWorkers(1))
+	got, err := flowdiff.BuildSignaturesReader(context.Background(), src, flowdiff.Options{}.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := flowdiff.BuildSignatures(log, flowdiff.Options{}.WithWorkers(1))
+	want, err := flowdiff.BuildSignatures(context.Background(), log, flowdiff.Options{}.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got.Apps, want.Apps) {
 		t.Error("public source constructor: app signatures differ from the in-memory build")
 	}
-	if _, err := flowdiff.NewColumnarSource(bytes.NewReader([]byte("not a columnar log"))); err == nil {
+	if _, err := flowdiff.NewColumnarSource(context.Background(), bytes.NewReader([]byte("not a columnar log"))); err == nil {
 		t.Error("want error for non-FDC1 input")
 	}
 }
 
 func TestBuildSignaturesReaderEmpty(t *testing.T) {
-	if _, err := flowdiff.BuildSignaturesReader(nil, flowdiff.Options{}); !errors.Is(err, flowdiff.ErrEmptyLog) {
+	if _, err := flowdiff.BuildSignaturesReader(context.Background(), nil, flowdiff.Options{}); !errors.Is(err, flowdiff.ErrEmptyLog) {
 		t.Errorf("nil source: err = %v, want ErrEmptyLog", err)
 	}
 	path := writeColumnar(t, flowlog.New(0, time.Minute))
 	r, done := openColumnar(t, path)
 	defer done()
-	if _, err := flowdiff.BuildSignaturesReader(r, flowdiff.Options{}); !errors.Is(err, flowdiff.ErrEmptyLog) {
+	if _, err := flowdiff.BuildSignaturesReader(context.Background(), r, flowdiff.Options{}); !errors.Is(err, flowdiff.ErrEmptyLog) {
 		t.Errorf("empty source: err = %v, want ErrEmptyLog", err)
 	}
 }
@@ -214,7 +215,7 @@ func TestStreamingBuildBoundedHeap(t *testing.T) {
 	}()
 
 	r, closeFile := openColumnar(t, path)
-	sigs, err := flowdiff.BuildSignaturesReader(r, flowdiff.Options{}.WithWorkers(2))
+	sigs, err := flowdiff.BuildSignaturesReader(context.Background(), r, flowdiff.Options{}.WithWorkers(2))
 	closeFile()
 	sample()
 	close(stop)
@@ -274,7 +275,7 @@ func BenchmarkBuildFromReader(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sigs, err := flowdiff.BuildSignaturesReader(r, flowdiff.Options{})
+		sigs, err := flowdiff.BuildSignaturesReader(context.Background(), r, flowdiff.Options{})
 		f.Close()
 		if err != nil {
 			b.Fatal(err)
@@ -323,7 +324,7 @@ func TestQueryReadsEquivalentOnScenarioCapture(t *testing.T) {
 	raw := buf.Bytes()
 
 	drain := func(o flowdiff.ColumnarOptions) []flowdiff.Event {
-		src, err := flowdiff.NewColumnarSourceOptions(bytes.NewReader(raw), o)
+		src, err := flowdiff.NewColumnarSourceOptions(context.Background(), bytes.NewReader(raw), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -392,7 +393,7 @@ func TestQueryReadsEquivalentOnScenarioCapture(t *testing.T) {
 
 	// A time-filtered source reports the window from Bounds, so a
 	// signature build over it covers exactly the queried interval.
-	src, err := flowdiff.NewColumnarSourceOptions(bytes.NewReader(raw), flowdiff.ColumnarOptions{Filter: f})
+	src, err := flowdiff.NewColumnarSourceOptions(context.Background(), bytes.NewReader(raw), flowdiff.ColumnarOptions{Filter: f})
 	if err != nil {
 		t.Fatal(err)
 	}
